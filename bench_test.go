@@ -1,0 +1,226 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation at a reduced scale (2 SMs, short runs) so the whole suite
+// completes in minutes. cmd/ckebench runs the same experiments at
+// configurable scale, including the paper's full 16-SM machine with
+// -paper-scale; EXPERIMENTS.md records the measured outputs.
+//
+// Each benchmark iteration regenerates its experiment from scratch
+// (fresh session, no caches), so ns/op measures the full cost of
+// reproducing that figure.
+
+package gcke_test
+
+import (
+	"io"
+	"testing"
+
+	gcke "repro"
+	"repro/internal/harness"
+)
+
+const (
+	benchCycles        = 30_000
+	benchProfileCycles = 15_000
+)
+
+func benchSession() *gcke.Session {
+	s := gcke.NewSession(gcke.ScaledConfig(2), benchCycles)
+	s.ProfileCycles = benchProfileCycles
+	return s
+}
+
+func benchHarness() *harness.Harness {
+	return harness.New(benchSession(), io.Discard)
+}
+
+// benchPairs is a one-per-class subset to bound run times.
+func benchPairs() []harness.Workload {
+	return []harness.Workload{
+		harness.NewWorkload("pf", "bp"), // C+C
+		harness.NewWorkload("bp", "sv"), // C+M
+		harness.NewWorkload("sv", "ks"), // M+M
+	}
+}
+
+// BenchmarkTable2 regenerates the benchmark characterization table.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if _, err := h.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 measures the utilization/stall characterization
+// (same runs as Table 2, rendered as the Figure 2 series).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.PrintTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the scalability curves and sweet spot.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure3("bp", "sv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the theoretical-vs-achieved gap.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if _, err := h.Figure4(benchPairs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the UCP cache-partitioning study.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if _, err := h.Figure5(benchPairs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the L1D starvation time series.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure6("bp", "sv", 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the BMI issue-balance comparison.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure8("bp", "sv", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates one SMIL static-limit surface (the C+M
+// pair; ckebench sweeps all three classes).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure9("bp", "ks", []int{4, 16, 64, 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates the QBMI vs DMIL vs combination study.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure11(benchPairs(), benchPairs()[1:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates the headline Warped-Slicer comparison.
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure12(benchPairs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates the SMK comparison.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure13(benchPairs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure14 regenerates the 3-kernel study.
+func BenchmarkFigure14(b *testing.B) {
+	triples := []harness.Workload{
+		harness.NewWorkload("bp", "sv", "dc"),
+		harness.NewWorkload("sv", "ks", "s2"),
+	}
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.Figure14(triples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivityL1D regenerates the Section 4.3 L1D-capacity
+// sensitivity study.
+func BenchmarkSensitivityL1D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		err := harness.SensitivityL1D(gcke.ScaledConfig(2), benchCycles, benchProfileCycles,
+			benchPairs()[1:2], h)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensitivityLRR regenerates the warp-scheduler sensitivity
+// study.
+func BenchmarkSensitivityLRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		err := harness.SensitivityLRR(gcke.ScaledConfig(2), benchCycles, benchProfileCycles,
+			benchPairs()[1:2], h)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGlobalDMIL measures the local-vs-global DMIL
+// ablation.
+func BenchmarkAblationGlobalDMIL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := h.AblationGlobalDMIL(benchPairs()[1:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorCycleRate measures raw simulator throughput:
+// cycles simulated per second on one isolated kernel.
+func BenchmarkSimulatorCycleRate(b *testing.B) {
+	s := benchSession()
+	bp, err := gcke.Benchmark("bp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bypass the cache by varying nothing observable: RunIsolated
+		// caches, so use a fresh session per iteration.
+		ses := benchSession()
+		if _, err := ses.RunIsolated(bp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = s
+}

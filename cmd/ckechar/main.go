@@ -1,0 +1,73 @@
+// Command ckechar characterizes the thirteen paper benchmarks in
+// isolation, reproducing Table 2 (occupancies, Cinst/Minst, Req/Minst,
+// L1D miss and reservation-failure rates, C/M classification) and
+// Figure 2 (ALU/SFU utilization vs LSU stall share).
+//
+// Usage:
+//
+//	ckechar [-sms N] [-cycles N] [-bench name,name,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ckechar: ")
+	sms := flag.Int("sms", 4, "number of SMs (memory system scales with it)")
+	cycles := flag.Int64("cycles", 100_000, "simulated cycles per run")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	verbose := flag.Bool("v", false, "print reservation-failure breakdown")
+	flag.Parse()
+
+	cfg := gcke.ScaledConfig(*sms)
+	s := gcke.NewSession(cfg, *cycles)
+
+	names := gcke.BenchmarkNames()
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	}
+
+	fmt.Printf("Benchmark characterization (%d SMs, %d cycles)\n\n", *sms, *cycles)
+	fmt.Printf("%-4s %6s %7s %8s %7s %6s %6s %9s %10s %5s %8s %8s %9s\n",
+		"name", "RF_oc", "SMEM_oc", "Thrd_oc", "TB_oc",
+		"C/M", "Req/M", "l1d_miss", "l1d_rsfail", "type", "IPC", "ALUutil", "LSUstall")
+	for _, name := range names {
+		d, err := gcke.Benchmark(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := s.RunIsolated(d)
+		if err != nil {
+			log.Fatalf("%s: %v", d.Name, err)
+		}
+		cls, err := s.Classify(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxTBs := d.MaxTBsPerSM(&cfg)
+		occ := d.OccupancyAt(&cfg, maxTBs)
+		k := r.Kernels[0]
+		reqPerM := 0.0
+		if k.MemInstrs > 0 {
+			reqPerM = float64(k.Requests) / float64(k.MemInstrs)
+		}
+		fmt.Printf("%-4s %5.1f%% %6.1f%% %7.1f%% %6.1f%% %6d %6.1f %9.3f %10.3f %5s %8.3f %8.3f %8.1f%%\n",
+			d.Name, occ.RF*100, occ.Smem*100, occ.Threads*100, occ.TBs*100,
+			d.CPerM, reqPerM, k.L1D.MissRate(), k.L1D.RsFailRate(),
+			cls, k.IPC, r.ALUUtil(), r.LSUStallFrac()*100)
+		if *verbose {
+			fmt.Printf("     rsfail: mshr=%d missq=%d line=%d  (acc=%d miss=%d merged=%d)\n",
+				k.L1D.RsFailMSHR, k.L1D.RsFailMQ, k.L1D.RsFailLine,
+				k.L1D.Accesses, k.L1D.Misses, k.L1D.Merged)
+		}
+	}
+	_ = os.Stdout
+}

@@ -1,0 +1,39 @@
+// Command ckedebug dumps internal memory-system state after an isolated
+// run (development aid).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+)
+
+func main() {
+	log.SetFlags(0)
+	name := flag.String("bench", "bs", "benchmark")
+	sms := flag.Int("sms", 4, "SMs")
+	cycles := flag.Int64("cycles", 50000, "cycles")
+	flag.Parse()
+	cfg := config.Scaled(*sms)
+	d, err := kern.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	descs := []*kern.Desc{&d}
+	opts := &gpu.Options{
+		Cycles: *cycles,
+		Quota:  gpu.UniformQuota(cfg.NumSMs, []int{d.MaxTBsPerSM(&cfg)}),
+	}
+	g, err := gpu.New(cfg, descs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.RunCycles(opts)
+	r := g.Result()
+	fmt.Print(r)
+	g.DumpMemState()
+}

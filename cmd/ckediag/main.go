@@ -1,0 +1,59 @@
+// Command ckediag compares schemes on one 2-kernel workload
+// (development aid; the full experiment suite lives in cmd/ckebench).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	sms := flag.Int("sms", 4, "SMs")
+	cycles := flag.Int64("cycles", 300_000, "evaluation cycles")
+	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
+	pair := flag.String("pair", "bp,sv", "kernel pair")
+	flag.Parse()
+
+	cfg := gcke.ScaledConfig(*sms)
+	session := gcke.NewSession(cfg, *cycles)
+	session.ProfileCycles = *profCycles
+
+	names := strings.Split(*pair, ",")
+	var ds []gcke.Kernel
+	for _, n := range names {
+		d, err := gcke.Benchmark(strings.TrimSpace(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+
+	schemes := []gcke.Scheme{
+		{Partition: gcke.PartitionSpatial},
+		{Partition: gcke.PartitionWarpedSlicer},
+		{Partition: gcke.PartitionWarpedSlicerDyn},
+		{Partition: gcke.PartitionWarpedSlicer, MemIssue: gcke.MemIssueRBMI},
+		{Partition: gcke.PartitionWarpedSlicer, MemIssue: gcke.MemIssueQBMI},
+		{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitDMIL},
+		{Partition: gcke.PartitionSMK, SMKQuota: true},
+		{Partition: gcke.PartitionSMK, MemIssue: gcke.MemIssueQBMI},
+		{Partition: gcke.PartitionSMK, Limiting: gcke.LimitDMIL},
+	}
+	fmt.Printf("%-16s %6s %6s %8s %7s %7s %7s %8s\n",
+		"scheme", "WS", "ANTT", "fairness", "stall", "k0-spd", "k1-spd", "theoWS")
+	for _, sc := range schemes {
+		res, err := session.RunWorkload(ds, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := res.SpeedupsOf()
+		fmt.Printf("%-16s %6.3f %6.3f %8.3f %7.3f %7.3f %7.3f %8.3f\n",
+			sc.Name(), res.WeightedSpeedup(), res.ANTT(), res.Fairness(),
+			res.LSUStallFrac(), sp[0], sp[1], res.TheoreticalWS)
+	}
+}

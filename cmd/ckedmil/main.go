@@ -1,0 +1,77 @@
+// Command ckedmil traces DMIL limit/inflight dynamics on one workload
+// (development aid).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/sm"
+)
+
+func main() {
+	log.SetFlags(0)
+	pair := flag.String("pair", "bp,ks", "kernels")
+	quota := flag.String("quota", "", "comma-separated TB quota (default max/2)")
+	cycles := flag.Int64("cycles", 300_000, "cycles")
+	flag.Parse()
+	cfg := config.Scaled(4)
+	var descs []*kern.Desc
+	for _, n := range strings.Split(*pair, ",") {
+		d, err := kern.ByName(strings.TrimSpace(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dd := d
+		descs = append(descs, &dd)
+	}
+	row := make([]int, len(descs))
+	if *quota != "" {
+		for i, q := range strings.Split(*quota, ",") {
+			fmt.Sscanf(q, "%d", &row[i])
+		}
+	} else {
+		for i, d := range descs {
+			row[i] = d.MaxTBsPerSM(&cfg) / 2
+			if row[i] < 1 {
+				row[i] = 1
+			}
+		}
+	}
+	var dmils []*core.DMIL
+	opts := &gpu.Options{
+		Cycles: *cycles,
+		Quota:  gpu.UniformQuota(cfg.NumSMs, row),
+		Policies: gpu.PolicyFactory{
+			Limiter: func(smID, n int) sm.Limiter {
+				d := core.NewDMIL(n)
+				dmils = append(dmils, d)
+				return d
+			},
+		},
+		Hook: func(g *gpu.GPU, cycle int64) {
+			if cycle%50000 == 0 {
+				fmt.Printf("cycle=%7d sm0:", cycle)
+				for k := range descs {
+					fmt.Printf("  k%d lim=%3d inf=%3d", k, dmils[0].Limit(k), g.SMs[0].Inflight(k))
+				}
+				fmt.Println()
+			}
+		},
+		HookInterval: 1000,
+	}
+	g, err := gpu.New(cfg, descs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quota=%v\n", row)
+	g.RunCycles(opts)
+	fmt.Print(g.Result())
+	fmt.Printf("stall=%.3f\n", g.Result().LSUStallFrac())
+}

@@ -1,0 +1,74 @@
+// Command ckesweep reproduces Figure 9: Weighted Speedup over a grid of
+// static in-flight memory access limits (SMIL) for a 2-kernel workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	pair := flag.String("pair", "bp,ks", "kernel pair")
+	sms := flag.Int("sms", 4, "SMs")
+	cycles := flag.Int64("cycles", 150_000, "cycles per point")
+	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
+	flag.Parse()
+
+	cfg := gcke.ScaledConfig(*sms)
+	s := gcke.NewSession(cfg, *cycles)
+	s.ProfileCycles = 60_000
+
+	var ds []gcke.Kernel
+	for _, n := range strings.Split(*pair, ",") {
+		d, err := gcke.Benchmark(strings.TrimSpace(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	var lims []int
+	for _, g := range strings.Split(*grid, ",") {
+		var v int
+		fmt.Sscanf(g, "%d", &v)
+		lims = append(lims, v)
+	}
+
+	name := func(v int) string {
+		if v == 0 {
+			return "inf"
+		}
+		return fmt.Sprint(v)
+	}
+	fmt.Printf("Weighted Speedup, %s: rows=Limit_k0(%s), cols=Limit_k1(%s)\n", *pair, ds[0].Name, ds[1].Name)
+	fmt.Printf("%6s", "")
+	for _, l1 := range lims {
+		fmt.Printf(" %6s", name(l1))
+	}
+	fmt.Println()
+	bestWS, bestI, bestJ := -1.0, 0, 0
+	for _, l0 := range lims {
+		fmt.Printf("%6s", name(l0))
+		for _, l1 := range lims {
+			res, err := s.RunWorkload(ds, gcke.Scheme{
+				Partition:    gcke.PartitionWarpedSlicer,
+				Limiting:     gcke.LimitStatic,
+				StaticLimits: []int{l0, l1},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ws := res.WeightedSpeedup()
+			if ws > bestWS {
+				bestWS, bestI, bestJ = ws, l0, l1
+			}
+			fmt.Printf(" %6.3f", ws)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("best: (%s,%s) WS=%.3f\n", name(bestI), name(bestJ), bestWS)
+}

@@ -1,0 +1,83 @@
+// Milsweep reproduces the paper's Figure 9 experiment: sweep static
+// in-flight memory access limits (SMIL) over a grid for a C+M pair and
+// print the Weighted Speedup surface. The landscape shows the paper's
+// shape — capping the memory-intensive kernel tightly while leaving the
+// compute-intensive kernel unlimited maximizes the weighted speedup —
+// and the optimum DMIL is expected to find dynamically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	gcke "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	a := flag.String("a", "bp", "first kernel (compute-intensive)")
+	b := flag.String("b", "ks", "second kernel (memory-intensive)")
+	flag.Parse()
+
+	cfg := gcke.ScaledConfig(4)
+	session := gcke.NewSession(cfg, 120_000)
+	session.ProfileCycles = 60_000
+
+	ka, err := gcke.Benchmark(*a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kb, err := gcke.Benchmark(*b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl := []gcke.Kernel{ka, kb}
+
+	grid := []int{2, 8, 32, 0} // 0 = unlimited (the paper's "Inf" point)
+	name := func(v int) string {
+		if v == 0 {
+			return "inf"
+		}
+		return fmt.Sprint(v)
+	}
+
+	fmt.Printf("Weighted Speedup of %s+%s under static limits (rows Limit_%s, cols Limit_%s)\n",
+		*a, *b, *a, *b)
+	fmt.Printf("%6s", "")
+	for _, l1 := range grid {
+		fmt.Printf(" %7s", name(l1))
+	}
+	fmt.Println()
+	best, bi, bj := -1.0, 0, 0
+	for _, l0 := range grid {
+		fmt.Printf("%6s", name(l0))
+		for _, l1 := range grid {
+			res, err := session.RunWorkload(wl, gcke.Scheme{
+				Partition:    gcke.PartitionWarpedSlicer,
+				Limiting:     gcke.LimitStatic,
+				StaticLimits: []int{l0, l1},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ws := res.WeightedSpeedup()
+			fmt.Printf(" %7.3f", ws)
+			if ws > best {
+				best, bi, bj = ws, l0, l1
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nstatic optimum: (Limit_%s=%s, Limit_%s=%s) WS=%.3f\n",
+		*a, name(bi), *b, name(bj), best)
+
+	dmil, err := session.RunWorkload(wl, gcke.Scheme{
+		Partition: gcke.PartitionWarpedSlicer,
+		Limiting:  gcke.LimitDMIL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic (DMIL) without profiling:        WS=%.3f\n", dmil.WeightedSpeedup())
+}

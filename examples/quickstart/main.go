@@ -1,0 +1,52 @@
+// Quickstart: run the paper's running example — the compute-intensive
+// backprop (bp) sharing SMs with the memory-intensive spmv (sv) — under
+// Warped-Slicer TB partitioning, then add the paper's two mechanisms
+// (QBMI and DMIL) and compare Weighted Speedup, ANTT and Fairness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-SM machine with a proportionally scaled memory system keeps
+	// this example fast; use gcke.DefaultConfig() for the paper's full
+	// 16-SM GPU.
+	cfg := gcke.ScaledConfig(4)
+	session := gcke.NewSession(cfg, 60_000)
+
+	bp, err := gcke.Benchmark("bp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv, err := gcke.Benchmark("sv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := []gcke.Kernel{bp, sv}
+
+	schemes := []gcke.Scheme{
+		{Partition: gcke.PartitionWarpedSlicer},
+		{Partition: gcke.PartitionWarpedSlicer, MemIssue: gcke.MemIssueQBMI},
+		{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitDMIL},
+	}
+
+	fmt.Println("workload: bp (compute-intensive) + sv (memory-intensive)")
+	fmt.Printf("%-12s %6s %6s %8s %6s %6s %9s\n",
+		"scheme", "WS", "ANTT", "fairness", "bp", "sv", "tb-split")
+	for _, sc := range schemes {
+		res, err := session.RunWorkload(workload, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := res.SpeedupsOf()
+		fmt.Printf("%-12s %6.3f %6.3f %8.3f %6.3f %6.3f %9v\n",
+			sc.Name(), res.WeightedSpeedup(), res.ANTT(), res.Fairness(),
+			sp[0], sp[1], res.TBPartition)
+	}
+}

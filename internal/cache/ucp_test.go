@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func umonCfg() config.Cache {
+	return config.Cache{
+		SizeBytes: 4 * 4 * 128, LineBytes: 128, Ways: 4,
+		MSHRs: 8, MSHRMerge: 4, MissQueue: 4, HitLatency: 1,
+		XORIndex: false, WriteBack: false,
+	}
+}
+
+func TestUMONStackDistances(t *testing.T) {
+	u := NewUMON(umonCfg(), 1)
+	// Access the same line twice: second access hits at MRU (distance 0).
+	u.Access(0, 100)
+	u.Access(0, 100)
+	if u.wayHits[0][0] != 1 {
+		t.Fatalf("MRU hits = %d, want 1", u.wayHits[0][0])
+	}
+	// A-B-A in one set: A now hits at distance 1.
+	u.Access(0, 104) // same set (4 sets, line%4==0)
+	u.Access(0, 100)
+	if u.wayHits[0][1] != 1 {
+		t.Fatalf("distance-1 hits = %d, want 1", u.wayHits[0][1])
+	}
+}
+
+func TestUMONHitsWithWaysCumulative(t *testing.T) {
+	u := NewUMON(umonCfg(), 1)
+	u.wayHits[0] = []uint64{10, 5, 2, 1}
+	if got := u.hitsWithWays(0, 1); got != 10 {
+		t.Fatalf("1 way = %d", got)
+	}
+	if got := u.hitsWithWays(0, 4); got != 18 {
+		t.Fatalf("4 ways = %d", got)
+	}
+}
+
+func TestLookaheadFavorsHighUtility(t *testing.T) {
+	u := NewUMON(umonCfg(), 2)
+	// Kernel 0: strong utility up to 3 ways. Kernel 1: cache-averse.
+	u.wayHits[0] = []uint64{100, 80, 60, 5}
+	u.wayHits[1] = []uint64{3, 2, 1, 0}
+	alloc := u.Lookahead(1)
+	if len(alloc) != 2 || alloc[0]+alloc[1] != 4 {
+		t.Fatalf("allocation %v must sum to associativity 4", alloc)
+	}
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("high-utility kernel got %d ways vs %d", alloc[0], alloc[1])
+	}
+	if alloc[1] < 1 {
+		t.Fatal("every kernel must keep at least one way")
+	}
+}
+
+func TestLookaheadEqualUtility(t *testing.T) {
+	u := NewUMON(umonCfg(), 2)
+	u.wayHits[0] = []uint64{10, 10, 10, 10}
+	u.wayHits[1] = []uint64{10, 10, 10, 10}
+	alloc := u.Lookahead(1)
+	if alloc[0]+alloc[1] != 4 {
+		t.Fatalf("bad total: %v", alloc)
+	}
+	if alloc[0] < 1 || alloc[1] < 1 {
+		t.Fatalf("min ways violated: %v", alloc)
+	}
+}
+
+func TestLookaheadZeroUtility(t *testing.T) {
+	u := NewUMON(umonCfg(), 2)
+	alloc := u.Lookahead(1)
+	if alloc[0]+alloc[1] != 4 {
+		t.Fatalf("zero-utility allocation %v must still sum to 4", alloc)
+	}
+}
+
+func TestResetCountersHalves(t *testing.T) {
+	u := NewUMON(umonCfg(), 1)
+	u.wayHits[0][0] = 100
+	u.accesses[0] = 50
+	u.ResetCounters()
+	if u.wayHits[0][0] != 50 || u.Accesses(0) != 25 {
+		t.Fatal("ResetCounters must halve counters")
+	}
+}
+
+func TestAttachUMONObservesAccesses(t *testing.T) {
+	c := New(umonCfg(), 2)
+	u := c.AttachUMON()
+	c.Access(load(0, 1))
+	c.Access(load(0, 1))
+	if u.Accesses(0) != 2 {
+		t.Fatalf("UMON observed %d accesses, want 2", u.Accesses(0))
+	}
+	if c.UMONRef() != u {
+		t.Fatal("UMONRef must return the attached monitor")
+	}
+}

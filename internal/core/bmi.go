@@ -1,0 +1,169 @@
+// Balanced Memory request Issuing (BMI), Section 3.2 of the paper.
+//
+// Both policies arbitrate the SM's single memory-instruction issue slot
+// among the kernels that have a ready memory instruction in a cycle,
+// preventing a memory-intensive kernel from starving its co-runners'
+// access to the LSU.
+
+package core
+
+import "repro/internal/sm"
+
+// RBMI issues memory instructions from concurrent kernels in a loose
+// round-robin manner: the kernel after the last issuer has priority, but
+// any ready kernel may issue when the preferred one has no candidate.
+type RBMI struct {
+	n    int
+	next int
+}
+
+// NewRBMI builds an RBMI arbiter for n kernel slots.
+func NewRBMI(n int) *RBMI { return &RBMI{n: n} }
+
+// Pick implements sm.MemIssuePolicy.
+func (r *RBMI) Pick(kernels []int) int {
+	for off := 0; off < r.n; off++ {
+		want := (r.next + off) % r.n
+		for i, k := range kernels {
+			if k == want {
+				return i
+			}
+		}
+	}
+	return 0
+}
+
+// OnIssue implements sm.MemIssuePolicy.
+func (r *RBMI) OnIssue(kernel, reqs int) {
+	r.next = (kernel + 1) % r.n
+}
+
+var _ sm.MemIssuePolicy = (*RBMI)(nil)
+
+// qbmiSampleReqs is the paper's resampling interval: Req/Minst of a
+// kernel is re-estimated every 1024 memory requests it issues.
+const qbmiSampleReqs = 1024
+
+// rpmCap bounds the per-kernel Req/Minst estimate so the LCM stays
+// small (the hardware uses small integer quota registers).
+const rpmCap = 32
+
+// QBMI is quota-based memory instruction issuing. Each kernel holds a
+// quota computed as LCM(r_0..r_{K-1})/r_i, where r_i is its measured
+// average requests per memory instruction; the kernel with the highest
+// remaining quota has priority, each issue costs one quota unit, and a
+// fresh quota set is *added* whenever any kernel's quota reaches zero
+// (so a kernel alone on the memory pipeline is never blocked).
+type QBMI struct {
+	n     int
+	quota []int64
+	rpm   []int64 // current Req/Minst estimate, >= 1
+
+	instrs []uint64 // memory instructions since last estimate
+	reqs   []uint64 // requests since last estimate
+
+	// RefreshAllZero switches to SMK-style refresh (new quotas only
+	// once every kernel is spent). The paper refreshes when any kernel
+	// reaches zero; this variant exists for the ablation study.
+	RefreshAllZero bool
+}
+
+// NewQBMI builds a QBMI arbiter for n kernels. initRPM optionally seeds
+// the Req/Minst estimates (nil starts at 1; the estimates converge after
+// the first 1024 requests per kernel either way).
+func NewQBMI(n int, initRPM []int) *QBMI {
+	q := &QBMI{
+		n:      n,
+		quota:  make([]int64, n),
+		rpm:    make([]int64, n),
+		instrs: make([]uint64, n),
+		reqs:   make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		q.rpm[i] = 1
+		if initRPM != nil && i < len(initRPM) && initRPM[i] > 0 {
+			q.rpm[i] = int64(initRPM[i])
+			if q.rpm[i] > rpmCap {
+				q.rpm[i] = rpmCap
+			}
+		}
+	}
+	q.refresh()
+	return q
+}
+
+// Pick implements sm.MemIssuePolicy: the candidate kernel with the
+// largest remaining quota wins.
+func (q *QBMI) Pick(kernels []int) int {
+	best := 0
+	for i := 1; i < len(kernels); i++ {
+		if q.quota[kernels[i]] > q.quota[kernels[best]] {
+			best = i
+		}
+	}
+	return best
+}
+
+// OnIssue implements sm.MemIssuePolicy.
+func (q *QBMI) OnIssue(kernel, reqs int) {
+	q.instrs[kernel]++
+	q.reqs[kernel] += uint64(reqs)
+	if q.reqs[kernel] >= qbmiSampleReqs {
+		rpm := int64((q.reqs[kernel] + q.instrs[kernel]/2) / q.instrs[kernel])
+		if rpm < 1 {
+			rpm = 1
+		}
+		if rpm > rpmCap {
+			rpm = rpmCap
+		}
+		q.rpm[kernel] = rpm
+		q.reqs[kernel] = 0
+		q.instrs[kernel] = 0
+	}
+	q.quota[kernel]--
+	if q.RefreshAllZero {
+		for _, v := range q.quota {
+			if v > 0 {
+				return
+			}
+		}
+		q.refresh()
+		return
+	}
+	if q.quota[kernel] <= 0 {
+		q.refresh()
+	}
+}
+
+// refresh adds a new LCM-based quota set to the current values.
+func (q *QBMI) refresh() {
+	l := int64(1)
+	for _, r := range q.rpm {
+		l = lcm(l, r)
+	}
+	for i := range q.quota {
+		q.quota[i] += l / q.rpm[i]
+	}
+}
+
+// Quota exposes the current quota of kernel k (for tests and tracing).
+func (q *QBMI) Quota(k int) int64 { return q.quota[k] }
+
+// RPM exposes the current Req/Minst estimate of kernel k.
+func (q *QBMI) RPM(k int) int64 { return q.rpm[k] }
+
+var _ sm.MemIssuePolicy = (*QBMI)(nil)
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

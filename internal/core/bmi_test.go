@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRBMIRoundRobin(t *testing.T) {
+	r := NewRBMI(2)
+	cands := []int{0, 1}
+	// After kernel 0 issues, kernel 1 is preferred, and vice versa.
+	pick := r.Pick(cands)
+	r.OnIssue(cands[pick], 1)
+	want := (cands[pick] + 1) % 2
+	if got := cands[r.Pick(cands)]; got != want {
+		t.Fatalf("after kernel %d issued, pick = %d, want %d", cands[pick], got, want)
+	}
+}
+
+func TestRBMIFallsBackWhenPreferredAbsent(t *testing.T) {
+	r := NewRBMI(3)
+	r.OnIssue(0, 1) // prefer kernel 1 next
+	// Only kernel 2 is a candidate.
+	if got := r.Pick([]int{2}); got != 0 {
+		t.Fatalf("pick = %d, want 0 (only candidate)", got)
+	}
+}
+
+func TestQBMIQuotasInverseToRPM(t *testing.T) {
+	// Paper formula: quota_i = LCM(r_0, r_1)/r_i. With r = (2, 3):
+	// LCM 6 -> quotas (3, 2).
+	q := NewQBMI(2, []int{2, 3})
+	if q.Quota(0) != 3 || q.Quota(1) != 2 {
+		t.Fatalf("quotas = (%d,%d), want (3,2)", q.Quota(0), q.Quota(1))
+	}
+}
+
+func TestQBMIKsVsSv(t *testing.T) {
+	// The paper's sv (3) and ks (17): LCM 51 -> quotas (17, 3).
+	q := NewQBMI(2, []int{3, 17})
+	if q.Quota(0) != 17 || q.Quota(1) != 3 {
+		t.Fatalf("quotas = (%d,%d), want (17,3)", q.Quota(0), q.Quota(1))
+	}
+}
+
+func TestQBMIPickHighestQuota(t *testing.T) {
+	q := NewQBMI(2, []int{2, 3})
+	if got := q.Pick([]int{0, 1}); got != 0 {
+		t.Fatalf("pick = %d, want kernel 0 (quota 3 > 2)", got)
+	}
+	if got := q.Pick([]int{1, 0}); got != 1 {
+		t.Fatalf("pick = %d, want index of kernel 0", got)
+	}
+}
+
+func TestQBMIRefreshOnZero(t *testing.T) {
+	q := NewQBMI(2, []int{2, 3})
+	// Spend kernel 0's quota (3 issues of 2 requests each keeps rpm 2).
+	for i := 0; i < 3; i++ {
+		q.OnIssue(0, 2)
+	}
+	// Refresh must have added a new quota set to BOTH kernels: kernel 0
+	// back to 3, kernel 1 still holding 2 + 2.
+	if q.Quota(0) != 3 {
+		t.Fatalf("kernel 0 quota after refresh = %d, want 3", q.Quota(0))
+	}
+	if q.Quota(1) != 4 {
+		t.Fatalf("kernel 1 quota after refresh = %d, want 4 (2 banked + 2 new)", q.Quota(1))
+	}
+}
+
+func TestQBMIBalancesRequests(t *testing.T) {
+	// Simulate contention: both kernels always ready. Requests issued by
+	// each kernel must converge to parity even though kernel 1 issues
+	// many more requests per instruction.
+	q := NewQBMI(2, []int{2, 16})
+	reqs := [2]int{}
+	cands := []int{0, 1}
+	for i := 0; i < 10000; i++ {
+		k := cands[q.Pick(cands)]
+		var n int
+		if k == 0 {
+			n = 2
+		} else {
+			n = 16
+		}
+		q.OnIssue(k, n)
+		reqs[k] += n
+	}
+	ratio := float64(reqs[0]) / float64(reqs[1])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("request balance ratio = %v (reqs %v), want ~1", ratio, reqs)
+	}
+}
+
+func TestQBMIRPMAdapts(t *testing.T) {
+	q := NewQBMI(2, nil) // start with rpm 1
+	// Kernel 0 issues 1024+ requests at 4 per instruction.
+	for i := 0; i < 300; i++ {
+		q.OnIssue(0, 4)
+	}
+	if got := q.RPM(0); got != 4 {
+		t.Fatalf("rpm after resampling = %d, want 4", got)
+	}
+}
+
+func TestQBMIRPMCapped(t *testing.T) {
+	q := NewQBMI(1, []int{1000})
+	if q.RPM(0) != rpmCap {
+		t.Fatalf("rpm = %d, want capped at %d", q.RPM(0), rpmCap)
+	}
+}
+
+func TestQBMISingleKernelNeverBlocked(t *testing.T) {
+	q := NewQBMI(1, []int{5})
+	for i := 0; i < 1000; i++ {
+		if got := q.Pick([]int{0}); got != 0 {
+			t.Fatal("single kernel must always win")
+		}
+		q.OnIssue(0, 5)
+		if q.Quota(0) <= 0 {
+			t.Fatal("refresh-on-zero must keep the quota positive")
+		}
+	}
+}
+
+func TestLCMGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{2, 3, 6}, {3, 17, 51}, {4, 6, 12}, {1, 1, 1}, {7, 7, 7},
+	}
+	for _, c := range cases {
+		if got := lcm(c.a, c.b); got != c.want {
+			t.Errorf("lcm(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPropertyQuotaAlwaysPositiveAfterIssue(t *testing.T) {
+	f := func(seq []uint8) bool {
+		q := NewQBMI(3, []int{1, 3, 9})
+		for _, s := range seq {
+			k := int(s % 3)
+			q.OnIssue(k, int(s%9)+1)
+			// Refresh-on-zero invariant: no kernel stays at <= 0 after
+			// the issuing kernel's quota is refreshed.
+			if q.Quota(k) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQBMIRefreshAllZeroVariant(t *testing.T) {
+	q := NewQBMI(2, []int{2, 3}) // quotas (3, 2)
+	q.RefreshAllZero = true
+	for i := 0; i < 3; i++ {
+		q.OnIssue(0, 2)
+	}
+	// Kernel 0 spent, kernel 1 still holds quota: no refresh yet.
+	if q.Quota(0) > 0 {
+		t.Fatalf("kernel 0 quota = %d, want <= 0 before all-zero refresh", q.Quota(0))
+	}
+	q.OnIssue(1, 3)
+	q.OnIssue(1, 3)
+	// Now all spent: refresh restores both.
+	if q.Quota(0) <= 0 || q.Quota(1) <= 0 {
+		t.Fatalf("quotas after all-zero refresh = (%d,%d)", q.Quota(0), q.Quota(1))
+	}
+}

@@ -1,0 +1,18 @@
+// Package core implements the paper's contribution: mechanisms that
+// mitigate memory pipeline stalls under intra-SM concurrent kernel
+// execution, plus the thread-block partitioning baselines they are
+// evaluated on.
+//
+//   - Balanced Memory request Issuing (Section 3.2): RBMI issues memory
+//     instructions from concurrent kernels round-robin; QBMI assigns
+//     LCM-based quotas inversely proportional to each kernel's measured
+//     requests-per-memory-instruction.
+//   - Memory Instruction Limiting (Section 3.3): SMIL caps in-flight
+//     memory instructions per kernel statically; DMIL adapts the cap at
+//     runtime with one MILG (memory instruction limiting number
+//     generator) per kernel per SM.
+//   - TB partitioning baselines (Section 4): Warped-Slicer sweet-spot
+//     selection from scalability curves, SMK's dominant-resource-fair
+//     static partition with its periodic warp-instruction quota, spatial
+//     multitasking, and the left-over policy.
+package core

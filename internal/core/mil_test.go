@@ -1,0 +1,199 @@
+package core
+
+import "testing"
+
+func TestSMILUnlimited(t *testing.T) {
+	s := NewSMIL([]int{Unlimited, 4})
+	if !s.Allow(0, 1000) {
+		t.Fatal("Unlimited kernel must always be allowed")
+	}
+	if !s.Allow(1, 3) || s.Allow(1, 4) {
+		t.Fatal("limit 4 must allow inflight<4 only")
+	}
+}
+
+func TestSMILOutOfRangeKernel(t *testing.T) {
+	s := NewSMIL([]int{2})
+	if !s.Allow(5, 100) {
+		t.Fatal("unknown kernel slots default to unlimited")
+	}
+}
+
+func TestMILGStartsOpen(t *testing.T) {
+	m := NewMILG()
+	if m.Limit != milgPeakMax+1 {
+		t.Fatalf("initial limit = %d, want %d", m.Limit, milgPeakMax+1)
+	}
+}
+
+func TestMILGCutHalvesPeak(t *testing.T) {
+	m := NewMILG()
+	m.NoteInflight(64)
+	m.cut()
+	if m.Limit != 32 {
+		t.Fatalf("cut limit = %d, want 32", m.Limit)
+	}
+}
+
+func TestMILGCutFloorsAtOne(t *testing.T) {
+	m := NewMILG()
+	m.NoteInflight(1)
+	m.cut()
+	if m.Limit != 1 {
+		t.Fatalf("cut floor = %d, want 1 (a kernel may never be fully blocked)", m.Limit)
+	}
+	m.cut()
+	if m.Limit < 1 {
+		t.Fatal("repeated cuts must not go below 1")
+	}
+}
+
+func TestMILGReopenExponential(t *testing.T) {
+	m := NewMILG()
+	m.NoteInflight(10)
+	m.cut() // limit 5, recover reset to 1
+	base := m.Limit
+	m.inflight = base
+	var prev = base
+	growth := []int{}
+	for i := 0; i < 4; i++ {
+		m.peak = prev
+		m.reopen()
+		growth = append(growth, m.Limit-prev)
+		prev = m.Limit
+		m.inflight = prev
+	}
+	// Steps double up to the cap of 4: 1, 2, 4, 4.
+	want := []int{1, 2, 4, 4}
+	for i := range want {
+		if growth[i] != want[i] {
+			t.Fatalf("recovery growth = %v, want %v", growth, want)
+		}
+	}
+}
+
+func TestMILGReopenCapped(t *testing.T) {
+	m := NewMILG()
+	m.peak = milgPeakMax
+	m.reopen()
+	if m.Limit > milgPeakMax+1 {
+		t.Fatalf("limit %d exceeds the 7-bit counter ceiling", m.Limit)
+	}
+}
+
+func TestMILGRsfailSaturates(t *testing.T) {
+	m := NewMILG()
+	for i := 0; i < 10000; i++ {
+		m.OnRsFail()
+	}
+	if m.rsfail != milgRsfailMax {
+		t.Fatalf("rsfail = %d, want saturated at %d (12-bit)", m.rsfail, milgRsfailMax)
+	}
+}
+
+func TestMILGPeakTracksAndClamps(t *testing.T) {
+	m := NewMILG()
+	m.NoteInflight(50)
+	m.NoteInflight(30)
+	if m.peak != 50 {
+		t.Fatalf("peak = %d, want 50", m.peak)
+	}
+	m.NoteInflight(500)
+	if m.peak != milgPeakMax {
+		t.Fatalf("peak = %d, want clamped to %d", m.peak, milgPeakMax)
+	}
+}
+
+func TestMILGResidency(t *testing.T) {
+	m := NewMILG()
+	m.integral = 1000
+	m.completed = 10
+	if got := m.residency(); got != 100 {
+		t.Fatalf("residency = %d, want 100", got)
+	}
+	m.completed = 0
+	if got := m.residency(); got != 1000 {
+		t.Fatalf("residency with zero completions = %d, want integral", got)
+	}
+}
+
+func TestMILGCompletionCounting(t *testing.T) {
+	m := NewMILG()
+	m.NoteInflight(3) // issue of a 3-request instruction (0 -> 3)
+	m.NoteInflight(2) // completion
+	m.NoteInflight(1) // completion
+	m.NoteInflight(0) // completion
+	if m.completed != 3 {
+		t.Fatalf("completed = %d, want 3", m.completed)
+	}
+}
+
+func TestDMILThrottlesLongResidencyKernel(t *testing.T) {
+	d := NewDMIL(2)
+	// Kernel 0: short residency (fast turnover). Kernel 1: long
+	// residency. Failures keep the pipeline unhealthy.
+	cycle := int64(0)
+	for interval := 0; interval < 20; interval++ {
+		for i := 0; i < milgInterval; i++ {
+			cycle++
+			// Kernel 0 completes often; kernel 1 rarely.
+			if i%10 == 0 {
+				d.NoteInflight(0, 20+i%2) // wiggle around 20, completing
+			}
+			if i%200 == 0 {
+				d.NoteInflight(1, 60+i%2)
+			}
+			d.OnRsFail(0)
+			d.OnRsFail(1)
+			d.Tick(cycle)
+		}
+	}
+	// The long-residency kernel must be cut well below its observed
+	// peak (~61); the victim's window must stay at or above its own
+	// peak (~21) — it is never the one throttled.
+	if d.Limit(1) > 40 {
+		t.Fatalf("aggressor limit = %d, want cut below its ~61 peak", d.Limit(1))
+	}
+	if d.Limit(0) < 21 {
+		t.Fatalf("victim limit = %d, must not fall below its ~21 peak", d.Limit(0))
+	}
+}
+
+func TestDMILHealthyPipelineReopens(t *testing.T) {
+	d := NewDMIL(2)
+	// Force a cut first.
+	d.NoteInflight(0, 64)
+	d.NoteInflight(1, 64)
+	cycle := int64(0)
+	for i := 0; i < milgInterval+1; i++ {
+		cycle++
+		d.OnRsFail(0)
+		d.OnRsFail(1)
+		d.Tick(cycle)
+	}
+	cut0 := d.Limit(0)
+	// Now run clean intervals: both must reopen.
+	for i := 0; i < 4*milgInterval; i++ {
+		cycle++
+		d.Tick(cycle)
+	}
+	if d.Limit(0) <= cut0 {
+		t.Fatalf("limit did not recover after clean intervals: %d <= %d", d.Limit(0), cut0)
+	}
+}
+
+func TestDMILAllowUsesLimit(t *testing.T) {
+	d := NewDMIL(1)
+	d.gens[0].Limit = 5
+	if !d.Allow(0, 4) || d.Allow(0, 5) {
+		t.Fatal("Allow must compare inflight < limit")
+	}
+}
+
+func TestGlobalDMILShared(t *testing.T) {
+	g := NewGlobalDMIL(2)
+	g.gens[0].Limit = 7
+	if g.Limit(0) != 7 {
+		t.Fatal("GlobalDMIL must expose the shared generators")
+	}
+}

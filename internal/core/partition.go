@@ -1,0 +1,207 @@
+// Thread-block partitioning baselines: Warped-Slicer sweet-spot
+// selection, SMK's dominant-resource-fair allocation, spatial
+// multitasking and the left-over policy.
+
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/kern"
+)
+
+// Fits reports whether the given per-kernel TB counts satisfy every
+// static resource constraint of one SM.
+func Fits(cfg *config.Config, descs []*kern.Desc, tbs []int) bool {
+	var threads, regs, smem, slots int
+	for k, d := range descs {
+		n := tbs[k]
+		threads += n * d.ThreadsPerTB
+		regs += n * d.ThreadsPerTB * d.RegsPerThread
+		smem += n * d.SmemPerTB
+		slots += n
+	}
+	return threads <= cfg.SM.MaxThreads &&
+		regs <= cfg.SM.Registers &&
+		smem <= cfg.SM.SmemBytes &&
+		slots <= cfg.SM.MaxTBs
+}
+
+// SweetSpot implements Warped-Slicer's partitioning (Figure 3): given
+// per-kernel scalability curves — curves[k][n-1] is kernel k's isolated
+// IPC with n TBs per SM — it returns the feasible TB partition that
+// minimizes the worst per-kernel performance degradation (maximizing
+// min_k IPC_k(n_k)/IPC_k(n_max)), breaking ties by the sum of
+// normalized IPCs. The second return value is the theoretical Weighted
+// Speedup at the chosen point (Figure 4's "theoretical" series).
+func SweetSpot(cfg *config.Config, descs []*kern.Desc, curves [][]float64) ([]int, float64, error) {
+	k := len(descs)
+	if k == 0 || len(curves) != k {
+		return nil, 0, fmt.Errorf("core: SweetSpot needs one curve per kernel (%d vs %d)", len(curves), k)
+	}
+	peak := make([]float64, k)
+	maxTB := make([]int, k)
+	for i := range descs {
+		maxTB[i] = len(curves[i])
+		if maxTB[i] == 0 {
+			return nil, 0, fmt.Errorf("core: kernel %s has an empty scalability curve", descs[i].Name)
+		}
+		for _, v := range curves[i] {
+			if v > peak[i] {
+				peak[i] = v
+			}
+		}
+		if peak[i] <= 0 {
+			return nil, 0, fmt.Errorf("core: kernel %s has a non-positive scalability curve", descs[i].Name)
+		}
+	}
+
+	best := make([]int, k)
+	bestMin, bestSum := -1.0, -1.0
+	cur := make([]int, k)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == k {
+			if !Fits(cfg, descs, cur) {
+				return
+			}
+			mn, sum := 1e18, 0.0
+			for j := 0; j < k; j++ {
+				norm := curves[j][cur[j]-1] / peak[j]
+				sum += norm
+				if norm < mn {
+					mn = norm
+				}
+			}
+			if mn > bestMin || (mn == bestMin && sum > bestSum) {
+				bestMin, bestSum = mn, sum
+				copy(best, cur)
+			}
+			return
+		}
+		for n := 1; n <= maxTB[i]; n++ {
+			cur[i] = n
+			// Prune: infeasible prefixes only get worse.
+			if !feasiblePrefix(cfg, descs, cur, i) {
+				break
+			}
+			walk(i + 1)
+		}
+		cur[i] = 0
+	}
+	walk(0)
+	if bestMin < 0 {
+		return nil, 0, fmt.Errorf("core: no feasible TB partition for the workload")
+	}
+	return best, bestSum, nil
+}
+
+// feasiblePrefix checks resource feasibility considering only kernels
+// 0..i (later kernels still need at least one TB each).
+func feasiblePrefix(cfg *config.Config, descs []*kern.Desc, tbs []int, i int) bool {
+	var threads, regs, smem, slots int
+	for k := 0; k < len(descs); k++ {
+		n := 1 // reserve one TB for kernels not yet assigned
+		if k <= i {
+			n = tbs[k]
+		}
+		d := descs[k]
+		threads += n * d.ThreadsPerTB
+		regs += n * d.ThreadsPerTB * d.RegsPerThread
+		smem += n * d.SmemPerTB
+		slots += n
+	}
+	return threads <= cfg.SM.MaxThreads &&
+		regs <= cfg.SM.Registers &&
+		smem <= cfg.SM.SmemBytes &&
+		slots <= cfg.SM.MaxTBs
+}
+
+// DRFPartition implements SMK's static allocation: thread blocks are
+// granted one at a time to the kernel with the smallest dominant share
+// (its maximum used fraction across registers, shared memory, threads
+// and TB slots) until nothing more fits. Every kernel receives at least
+// one TB when feasible.
+func DRFPartition(cfg *config.Config, descs []*kern.Desc) []int {
+	k := len(descs)
+	alloc := make([]int, k)
+	for {
+		bestK := -1
+		bestShare := 0.0
+		for i, d := range descs {
+			next := append([]int(nil), alloc...)
+			next[i]++
+			if !Fits(cfg, descs, next) {
+				continue
+			}
+			share := d.DominantShare(cfg, alloc[i])
+			if bestK < 0 || share < bestShare {
+				bestK, bestShare = i, share
+			}
+		}
+		if bestK < 0 {
+			break
+		}
+		alloc[bestK]++
+	}
+	return alloc
+}
+
+// SpatialQuota assigns whole SMs to kernels as evenly as possible
+// (spatial multitasking): the returned matrix is Quota[sm][kernel].
+func SpatialQuota(cfg *config.Config, descs []*kern.Desc) [][]int {
+	k := len(descs)
+	q := make([][]int, cfg.NumSMs)
+	for s := 0; s < cfg.NumSMs; s++ {
+		row := make([]int, k)
+		owner := s * k / cfg.NumSMs
+		row[owner] = descs[owner].MaxTBsPerSM(cfg)
+		q[s] = row
+	}
+	return q
+}
+
+// LeftoverQuota implements the left-over policy: kernel 0 receives as
+// many TBs as fit, each subsequent kernel fills what remains.
+func LeftoverQuota(cfg *config.Config, descs []*kern.Desc) []int {
+	alloc := make([]int, len(descs))
+	for i := range descs {
+		for {
+			alloc[i]++
+			if !Fits(cfg, descs, alloc) {
+				alloc[i]--
+				break
+			}
+		}
+	}
+	return alloc
+}
+
+// EvenQuota splits the SM as evenly as TB occupancy limits allow: each
+// kernel gets floor(maxTBs/k) of its own limit (a simple non-profiled
+// intra-SM baseline used by tests).
+func EvenQuota(cfg *config.Config, descs []*kern.Desc) []int {
+	k := len(descs)
+	alloc := make([]int, k)
+	for i, d := range descs {
+		alloc[i] = d.MaxTBsPerSM(cfg) / k
+		if alloc[i] < 1 {
+			alloc[i] = 1
+		}
+	}
+	for !Fits(cfg, descs, alloc) {
+		// Shrink the largest allocation until feasible.
+		maxI := 0
+		for i := range alloc {
+			if alloc[i] > alloc[maxI] {
+				maxI = i
+			}
+		}
+		if alloc[maxI] <= 1 {
+			break
+		}
+		alloc[maxI]--
+	}
+	return alloc
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/kern"
+)
+
+func pair(t *testing.T, a, b string) (*config.Config, []*kern.Desc) {
+	t.Helper()
+	cfg := config.Default()
+	da, err := kern.ByName(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := kern.ByName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cfg, []*kern.Desc{&da, &db}
+}
+
+func TestFits(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	if !Fits(cfg, descs, []int{1, 1}) {
+		t.Fatal("one TB each must fit")
+	}
+	if Fits(cfg, descs, []int{100, 100}) {
+		t.Fatal("absurd partition must not fit")
+	}
+	// bp alone: 12 TBs is its occupancy limit.
+	if !Fits(cfg, descs, []int{12, 0}) || Fits(cfg, descs, []int{13, 0}) {
+		t.Fatal("bp occupancy limit must be 12 TBs")
+	}
+}
+
+func TestSweetSpotPrefersLinearKernel(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	// Synthetic curves: bp scales linearly to 12 TBs; sv peaks at 4 TBs
+	// then declines (the shape of the paper's Figure 3a).
+	bpCurve := make([]float64, 12)
+	for i := range bpCurve {
+		bpCurve[i] = float64(i+1) / 12
+	}
+	svCurve := make([]float64, 16)
+	for i := range svCurve {
+		n := float64(i + 1)
+		svCurve[i] = n / (1 + 0.25*n*n) // rises then falls, peak at n=2
+	}
+	tbs, theo, err := SweetSpot(cfg, descs, [][]float64{bpCurve, svCurve})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Fits(cfg, descs, tbs) {
+		t.Fatalf("partition %v infeasible", tbs)
+	}
+	if tbs[0] < 6 {
+		t.Fatalf("linear kernel got only %d TBs: %v", tbs[0], tbs)
+	}
+	if tbs[1] > 6 {
+		t.Fatalf("declining kernel got %d TBs (its peak is at 2): %v", tbs[1], tbs)
+	}
+	if theo <= 1.0 || theo > 2.0 {
+		t.Fatalf("theoretical WS = %v, want in (1,2]", theo)
+	}
+}
+
+func TestSweetSpotErrors(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	if _, _, err := SweetSpot(cfg, descs, [][]float64{{1}}); err == nil {
+		t.Error("curve-count mismatch must error")
+	}
+	if _, _, err := SweetSpot(cfg, descs, [][]float64{{}, {1}}); err == nil {
+		t.Error("empty curve must error")
+	}
+	if _, _, err := SweetSpot(cfg, descs, [][]float64{{0}, {0}}); err == nil {
+		t.Error("all-zero curves must error")
+	}
+}
+
+func TestDRFPartitionFeasibleAndMaximal(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	alloc := DRFPartition(cfg, descs)
+	if !Fits(cfg, descs, alloc) {
+		t.Fatalf("DRF partition %v infeasible", alloc)
+	}
+	// Maximal: no kernel can take one more TB.
+	for k := range alloc {
+		next := append([]int(nil), alloc...)
+		next[k]++
+		if Fits(cfg, descs, next) {
+			t.Fatalf("DRF partition %v not maximal: kernel %d could take one more TB", alloc, k)
+		}
+	}
+	if alloc[0] < 1 || alloc[1] < 1 {
+		t.Fatalf("DRF must give every kernel at least one TB: %v", alloc)
+	}
+}
+
+func TestDRFFairDominantShares(t *testing.T) {
+	cfg, descs := pair(t, "hs", "cd") // very different resource shapes
+	alloc := DRFPartition(cfg, descs)
+	s0 := descs[0].DominantShare(cfg, alloc[0])
+	s1 := descs[1].DominantShare(cfg, alloc[1])
+	if s0 <= 0 || s1 <= 0 {
+		t.Fatalf("degenerate shares: %v -> %v %v", alloc, s0, s1)
+	}
+	// DRF should not leave the shares wildly imbalanced.
+	ratio := s0 / s1
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Fatalf("dominant shares imbalanced: %v vs %v (alloc %v)", s0, s1, alloc)
+	}
+}
+
+func TestSpatialQuotaCoversAllSMsAndKernels(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	q := SpatialQuota(cfg, descs)
+	if len(q) != cfg.NumSMs {
+		t.Fatalf("quota rows = %d, want %d", len(q), cfg.NumSMs)
+	}
+	smCount := make([]int, len(descs))
+	for _, row := range q {
+		owners := 0
+		for k, v := range row {
+			if v > 0 {
+				owners++
+				smCount[k]++
+				if v != descs[k].MaxTBsPerSM(cfg) {
+					t.Fatalf("spatial SM must run its kernel at full occupancy, got %d", v)
+				}
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("each SM must be owned by exactly one kernel, row %v", row)
+		}
+	}
+	if smCount[0] != 8 || smCount[1] != 8 {
+		t.Fatalf("16 SMs must split 8/8, got %v", smCount)
+	}
+}
+
+func TestLeftoverQuota(t *testing.T) {
+	cfg, descs := pair(t, "bp", "sv")
+	alloc := LeftoverQuota(cfg, descs)
+	if alloc[0] != descs[0].MaxTBsPerSM(cfg) {
+		t.Fatalf("kernel 0 must get its occupancy limit, got %d", alloc[0])
+	}
+	if !Fits(cfg, descs, alloc) {
+		t.Fatalf("leftover %v infeasible", alloc)
+	}
+}
+
+func TestEvenQuotaFeasible(t *testing.T) {
+	for _, names := range [][2]string{{"bp", "sv"}, {"hs", "cd"}, {"cp", "ks"}} {
+		cfg, descs := pair(t, names[0], names[1])
+		alloc := EvenQuota(cfg, descs)
+		if !Fits(cfg, descs, alloc) {
+			t.Errorf("%v: even quota %v infeasible", names, alloc)
+		}
+	}
+}
+
+func TestThreeKernelPartitions(t *testing.T) {
+	cfg := config.Default()
+	var descs []*kern.Desc
+	for _, n := range []string{"bp", "sv", "dc"} {
+		d, err := kern.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd := d
+		descs = append(descs, &dd)
+	}
+	drf := DRFPartition(&cfg, descs)
+	if !Fits(&cfg, descs, drf) {
+		t.Fatalf("3-kernel DRF %v infeasible", drf)
+	}
+	for k, v := range drf {
+		if v < 1 {
+			t.Fatalf("kernel %d got no TBs: %v", k, drf)
+		}
+	}
+	// Sweet spot over synthetic linear curves.
+	curves := make([][]float64, 3)
+	for i, d := range descs {
+		m := d.MaxTBsPerSM(&cfg)
+		c := make([]float64, m)
+		for j := range c {
+			c[j] = float64(j + 1)
+		}
+		curves[i] = c
+	}
+	tbs, _, err := SweetSpot(&cfg, descs, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Fits(&cfg, descs, tbs) {
+		t.Fatalf("3-kernel sweet spot %v infeasible", tbs)
+	}
+}
+
+func TestSMKGateQuotaProportionalToIPC(t *testing.T) {
+	g := NewSMKGate([]float64{2.0, 1.0}, 1000)
+	if g.Remaining(0) != 1000 || g.Remaining(1) != 500 {
+		t.Fatalf("quotas = (%d,%d), want (1000,500)", g.Remaining(0), g.Remaining(1))
+	}
+}
+
+func TestSMKGateBlocksAtZeroRefreshesWhenAllSpent(t *testing.T) {
+	g := NewSMKGate([]float64{0.004, 0.002}, 1000) // quotas 2, 1
+	if g.Remaining(0) != 2 || g.Remaining(1) != 1 {
+		t.Fatalf("quotas = (%d,%d)", g.Remaining(0), g.Remaining(1))
+	}
+	g.OnIssue(0)
+	g.OnIssue(0)
+	if g.CanIssue(0) {
+		t.Fatal("kernel 0 must be blocked at zero quota")
+	}
+	if !g.CanIssue(1) {
+		t.Fatal("kernel 1 still has quota")
+	}
+	g.OnIssue(1)
+	// All spent: refresh.
+	if !g.CanIssue(0) || !g.CanIssue(1) {
+		t.Fatal("quotas must refresh when all kernels are spent")
+	}
+}
+
+func TestSMKGateLivenessGuard(t *testing.T) {
+	g := NewSMKGate([]float64{0.002, 0.002}, 1000) // quotas 1, 1
+	g.OnIssue(0)
+	if g.CanIssue(0) {
+		t.Fatal("spent")
+	}
+	// Kernel 1 never issues (e.g. no resident TBs): the guard must
+	// refresh after the stuck window.
+	for c := int64(0); c < 5000; c++ {
+		g.Tick(c)
+	}
+	if !g.CanIssue(0) {
+		t.Fatal("liveness guard did not refresh quotas")
+	}
+}

@@ -1,0 +1,82 @@
+// SMK's periodic warp-instruction quota (the "+W" part of SMK-(P+W)).
+//
+// SMK profiles each kernel in isolation and periodically grants warp
+// instruction quotas proportional to the isolated IPCs, so that resident
+// kernels progress at rates mirroring their solo throughput (performance
+// fairness on top of the DRF static partition). A kernel stops issuing
+// when its quota is spent; a new quota set is assigned only when every
+// kernel's quota reaches zero.
+
+package core
+
+import "repro/internal/sm"
+
+// SMKGate is one SM's warp-instruction quota controller.
+type SMKGate struct {
+	quota []int64 // per-epoch grant
+	rem   []int64
+	// Liveness guard: if no gated kernel can spend its quota (e.g. a
+	// kernel has no resident TBs), refresh after stuckAfter idle cycles
+	// rather than deadlocking the SM.
+	lastIssue  int64
+	stuckAfter int64
+}
+
+// NewSMKGate builds the gate. isolatedIPC[k] is kernel k's profiled
+// isolated IPC; epoch is the quota period in cycles. Each kernel's
+// per-epoch grant is its proportional share of the epoch's issue
+// bandwidth.
+func NewSMKGate(isolatedIPC []float64, epoch int64) *SMKGate {
+	n := len(isolatedIPC)
+	g := &SMKGate{
+		quota:      make([]int64, n),
+		rem:        make([]int64, n),
+		stuckAfter: 2048,
+	}
+	for k, ipc := range isolatedIPC {
+		q := int64(ipc * float64(epoch) / float64(n))
+		if q < 1 {
+			q = 1
+		}
+		g.quota[k] = q
+		g.rem[k] = q
+	}
+	return g
+}
+
+// CanIssue implements sm.IssueGate.
+func (g *SMKGate) CanIssue(kernel int) bool { return g.rem[kernel] > 0 }
+
+// OnIssue implements sm.IssueGate.
+func (g *SMKGate) OnIssue(kernel int) {
+	g.rem[kernel]--
+	g.lastIssue = 0
+	allSpent := true
+	for _, r := range g.rem {
+		if r > 0 {
+			allSpent = false
+			break
+		}
+	}
+	if allSpent {
+		for k := range g.rem {
+			g.rem[k] = g.quota[k]
+		}
+	}
+}
+
+// Tick implements sm.IssueGate: the liveness guard.
+func (g *SMKGate) Tick(cycle int64) {
+	g.lastIssue++
+	if g.lastIssue >= g.stuckAfter {
+		for k := range g.rem {
+			g.rem[k] = g.quota[k]
+		}
+		g.lastIssue = 0
+	}
+}
+
+// Remaining exposes kernel k's unspent quota (tests and tracing).
+func (g *SMKGate) Remaining(k int) int64 { return g.rem[k] }
+
+var _ sm.IssueGate = (*SMKGate)(nil)

@@ -1,0 +1,162 @@
+// Package dram models one GDDR memory channel with an FR-FCFS scheduler
+// (first-ready, first-come-first-served): among queued requests, a
+// request hitting an open row buffer in a ready bank is served before
+// older row-miss requests; ties break by age. Bank busy times and the
+// shared data bus bound the channel bandwidth (Table 1: 48 B/cycle at
+// the memory clock, which our unit-clock model folds into DataCycles
+// per 128 B line).
+package dram
+
+import (
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	busyUntil int64
+}
+
+type pending struct {
+	req     *mem.Request
+	arrival int64
+}
+
+type response struct {
+	req     *mem.Request
+	readyAt int64
+}
+
+// Channel is one DRAM channel.
+type Channel struct {
+	cfg          config.DRAM
+	linesPerRow  uint64
+	banks        []bank
+	queue        []pending
+	busBusyUntil int64
+	resp         []response
+
+	// Statistics.
+	Served  uint64
+	RowHits uint64
+	RowMiss uint64
+}
+
+// New builds a channel. lineBytes is the cache line size.
+func New(cfg config.DRAM, lineBytes int) *Channel {
+	lpr := uint64(cfg.RowBytes / lineBytes)
+	if lpr == 0 {
+		lpr = 1
+	}
+	return &Channel{
+		cfg:         cfg,
+		linesPerRow: lpr,
+		banks:       make([]bank, cfg.Banks),
+	}
+}
+
+// CanPush reports whether the request queue has space.
+func (c *Channel) CanPush() bool { return len(c.queue) < c.cfg.QueueDepth }
+
+// Push enqueues a request. It returns false when the queue is full.
+func (c *Channel) Push(r *mem.Request, cycle int64) bool {
+	if !c.CanPush() {
+		return false
+	}
+	c.queue = append(c.queue, pending{req: r, arrival: cycle})
+	return true
+}
+
+func (c *Channel) bankOf(lineAddr uint64) int {
+	// Hash rows onto banks so power-of-two strided streams (every
+	// kernel's per-warp regions are page-aligned) spread across banks
+	// instead of camping on one, as real memory controllers do with
+	// bank-address swizzling. Accesses within one row still share a
+	// bank, preserving row-buffer locality.
+	row := lineAddr / c.linesPerRow
+	h := row * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(len(c.banks)))
+}
+
+func (c *Channel) rowOf(lineAddr uint64) uint64 {
+	return lineAddr / c.linesPerRow
+}
+
+// Tick issues at most one request per cycle using FR-FCFS.
+func (c *Channel) Tick(cycle int64) {
+	if len(c.queue) == 0 {
+		return
+	}
+	if len(c.resp) >= c.cfg.ReturnQueue {
+		return // response queue backpressure
+	}
+	pick := -1
+	// First ready: oldest row-buffer hit whose bank is free.
+	for i := range c.queue {
+		b := c.bankOf(c.queue[i].req.LineAddr)
+		bk := &c.banks[b]
+		if bk.busyUntil <= cycle && bk.rowValid && bk.openRow == c.rowOf(c.queue[i].req.LineAddr) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		// Then FCFS: oldest request whose bank is free.
+		for i := range c.queue {
+			b := c.bankOf(c.queue[i].req.LineAddr)
+			if c.banks[b].busyUntil <= cycle {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	p := c.queue[pick]
+	copy(c.queue[pick:], c.queue[pick+1:])
+	c.queue = c.queue[:len(c.queue)-1]
+
+	b := c.bankOf(p.req.LineAddr)
+	row := c.rowOf(p.req.LineAddr)
+	bk := &c.banks[b]
+	var access int64
+	if bk.rowValid && bk.openRow == row {
+		access = int64(c.cfg.RowHitLat)
+		c.RowHits++
+	} else {
+		access = int64(c.cfg.RowMissLat)
+		c.RowMiss++
+		bk.openRow = row
+		bk.rowValid = true
+	}
+	dataStart := cycle + access
+	if c.busBusyUntil > dataStart {
+		dataStart = c.busBusyUntil
+	}
+	done := dataStart + int64(c.cfg.DataCycles)
+	c.busBusyUntil = done
+	bk.busyUntil = done
+	c.Served++
+	if p.req.Kind == mem.Load {
+		c.resp = append(c.resp, response{req: p.req, readyAt: done})
+	}
+}
+
+// PopResponse returns the next completed load, or nil. Responses become
+// visible in completion order.
+func (c *Channel) PopResponse(cycle int64) *mem.Request {
+	// Completion order follows bus order, so the slice is sorted by
+	// readyAt as appended.
+	if len(c.resp) == 0 || c.resp[0].readyAt > cycle {
+		return nil
+	}
+	r := c.resp[0].req
+	copy(c.resp, c.resp[1:])
+	c.resp = c.resp[:len(c.resp)-1]
+	return r
+}
+
+// QueueLen returns the number of waiting requests.
+func (c *Channel) QueueLen() int { return len(c.queue) }

@@ -1,0 +1,451 @@
+// Package gpu assembles the full simulated GPU: SMs, the request and
+// response crossbars, the L2 partitions and the DRAM channels, and runs
+// the deterministic cycle loop.
+//
+// Tick order within a cycle is fixed: SM issue/LSU -> request network ->
+// L2/DRAM -> response network -> (next cycle) SM fill delivery. All
+// state is single-threaded.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/icnt"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/sm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// PolicyFactory builds the per-SM policy objects. Local mechanisms (the
+// paper's per-SM MILGs and QBMI counters) get one instance per SM; a
+// factory may also return a shared instance to model global variants.
+type PolicyFactory struct {
+	MemPolicy func(smID, numKernels int) sm.MemIssuePolicy
+	Limiter   func(smID, numKernels int) sm.Limiter
+	Gate      func(smID, numKernels int) sm.IssueGate
+}
+
+// UCPConfig enables utility-based L1D way partitioning.
+type UCPConfig struct {
+	Enabled  bool
+	Interval int64 // repartition period in cycles
+	MinWays  int
+}
+
+// Options configures one simulation run.
+type Options struct {
+	Cycles int64
+	// Quota[smID][kernel] is the per-SM TB partition. Intra-SM sharing
+	// schemes use the same row for every SM; spatial multitasking uses
+	// disjoint rows.
+	Quota    [][]int
+	Policies PolicyFactory
+	UCP      UCPConfig
+	// BypassL1[k]: kernel k's load misses bypass the L1 (Section 4.5).
+	BypassL1 []bool
+	// Trace, when non-nil, receives cycle-level events from every SM.
+	Trace  *trace.Buffer
+	Series bool
+	// Hook, if non-nil, runs every HookInterval cycles (dynamic
+	// profiling schemes re-partition through it).
+	Hook         func(g *GPU, cycle int64)
+	HookInterval int64
+}
+
+type l2Response struct {
+	req     *mem.Request
+	readyAt int64
+}
+
+// partition is one L2 slice plus its DRAM channel.
+type partition struct {
+	l2     *cache.Cache
+	ch     *dram.Channel
+	inQ    []*mem.Request
+	inHead int
+	resp   []l2Response
+	respH  int
+	outQ   []*mem.Request // responses awaiting network injection
+}
+
+// GPU is a fully assembled simulator instance.
+type GPU struct {
+	cfg   config.Config
+	descs []*kern.Desc
+
+	SMs     []*sm.SM
+	reqNet  *icnt.Network
+	respNet *icnt.Network
+	parts   []*partition
+
+	ctrlFlits int
+	dataFlits int
+
+	cycle int64
+}
+
+// New builds a GPU running the given kernels under opts.
+func New(cfg config.Config, descs []*kern.Desc, opts *Options) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sm.Validate(&cfg, descs); err != nil {
+		return nil, err
+	}
+	if len(opts.Quota) != cfg.NumSMs {
+		return nil, fmt.Errorf("gpu: Quota has %d rows, want %d (one per SM)", len(opts.Quota), cfg.NumSMs)
+	}
+	g := &GPU{
+		cfg:       cfg,
+		descs:     descs,
+		reqNet:    icnt.New(cfg.Icnt, cfg.NumSMs, cfg.NumMemParts),
+		respNet:   icnt.New(cfg.Icnt, cfg.NumMemParts, cfg.NumSMs),
+		ctrlFlits: icnt.CtrlFlits(cfg.Icnt),
+		dataFlits: icnt.DataFlits(cfg.Icnt, cfg.L1D.LineBytes),
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		if len(opts.Quota[i]) != len(descs) {
+			return nil, fmt.Errorf("gpu: Quota row %d has %d entries, want %d", i, len(opts.Quota[i]), len(descs))
+		}
+		var mp sm.MemIssuePolicy
+		var lim sm.Limiter
+		var gate sm.IssueGate
+		if opts.Policies.MemPolicy != nil {
+			mp = opts.Policies.MemPolicy(i, len(descs))
+		}
+		if opts.Policies.Limiter != nil {
+			lim = opts.Policies.Limiter(i, len(descs))
+		}
+		if opts.Policies.Gate != nil {
+			gate = opts.Policies.Gate(i, len(descs))
+		}
+		s := sm.New(i, &g.cfg, descs, opts.Quota[i], mp, lim, gate, cfg.Seed)
+		if opts.Series {
+			s.EnableSeries(opts.Cycles)
+		}
+		if opts.UCP.Enabled {
+			s.L1.AttachUMON()
+		}
+		if opts.BypassL1 != nil {
+			s.L1.SetBypass(opts.BypassL1)
+		}
+		s.Trace = opts.Trace
+		g.SMs = append(g.SMs, s)
+	}
+	for p := 0; p < cfg.NumMemParts; p++ {
+		g.parts = append(g.parts, &partition{
+			l2: cache.New(cfg.L2, len(descs)),
+			ch: dram.New(cfg.DRAM, cfg.L2.LineBytes),
+		})
+	}
+	return g, nil
+}
+
+// Cycle returns the current simulation cycle.
+func (g *GPU) Cycle() int64 { return g.cycle }
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() *config.Config { return &g.cfg }
+
+// Kernels returns the kernel descriptors of the workload.
+func (g *GPU) Kernels() []*kern.Desc { return g.descs }
+
+// Run executes the simulation for opts.Cycles cycles and returns the
+// aggregated result.
+func Run(cfg config.Config, descs []*kern.Desc, opts *Options) (*stats.RunResult, error) {
+	g, err := New(cfg, descs, opts)
+	if err != nil {
+		return nil, err
+	}
+	g.RunCycles(opts)
+	return g.Result(), nil
+}
+
+// RunCycles advances the machine by opts.Cycles cycles.
+func (g *GPU) RunCycles(opts *Options) {
+	ucpNext := int64(0)
+	if opts.UCP.Enabled && opts.UCP.Interval <= 0 {
+		opts.UCP.Interval = 50 * 1024
+	}
+	for c := int64(0); c < opts.Cycles; c++ {
+		g.Step()
+		if opts.UCP.Enabled && g.cycle >= ucpNext {
+			g.repartitionL1(opts.UCP.MinWays)
+			ucpNext = g.cycle + opts.UCP.Interval
+		}
+		if opts.Hook != nil && opts.HookInterval > 0 && g.cycle%opts.HookInterval == 0 {
+			opts.Hook(g, g.cycle)
+		}
+	}
+}
+
+// Step advances the machine by one cycle.
+func (g *GPU) Step() {
+	c := g.cycle
+
+	// Deliver memory responses that arrived through the response
+	// network, then tick each SM.
+	for i, s := range g.SMs {
+		for {
+			resp := g.respNet.Pop(i, c)
+			if resp == nil {
+				break
+			}
+			s.Deliver(resp)
+		}
+		s.Tick(c)
+		// Drain the L1 miss queue into the request network.
+		if r := s.PeekOutbound(); r != nil && g.reqNet.CanPush(i) {
+			flits := g.ctrlFlits
+			if r.Kind == mem.Store {
+				flits = g.dataFlits
+			}
+			dst := mem.PartitionOf(r.LineAddr, g.cfg.NumMemParts)
+			g.reqNet.Push(i, icnt.Packet{Req: r, Dst: dst, Flits: flits})
+			s.PopOutbound()
+		}
+	}
+
+	g.reqNet.Tick(c)
+
+	for p, part := range g.parts {
+		g.tickPartition(p, part, c)
+	}
+
+	g.respNet.Tick(c)
+	g.cycle++
+}
+
+func (g *GPU) tickPartition(p int, part *partition, c int64) {
+	// Drain the network into the partition's input buffer (the network
+	// ejection port is wide; the L2 service rate below is what bounds
+	// throughput).
+	for len(part.inQ)-part.inHead < g.cfg.Icnt.QueueDepth*2 {
+		r := g.reqNet.Pop(p, c)
+		if r == nil {
+			break
+		}
+		part.inQ = append(part.inQ, r)
+	}
+
+	// Service the L2: two accesses per cycle (partitions are internally
+	// banked); a reservation failure stalls the in-order stream.
+	for served := 0; served < 2 && part.inHead < len(part.inQ); served++ {
+		req := part.inQ[part.inHead]
+		res := part.l2.Access(req)
+		if res.Failed() {
+			break
+		}
+		part.inHead++
+		if part.inHead > 128 && part.inHead*2 > len(part.inQ) {
+			part.inQ = append(part.inQ[:0], part.inQ[part.inHead:]...)
+			part.inHead = 0
+		}
+		switch res {
+		case cache.Hit:
+			if req.Kind == mem.Load {
+				part.resp = append(part.resp, l2Response{
+					req:     req,
+					readyAt: c + int64(g.cfg.L2.HitLatency+g.cfg.L2ExtraLat),
+				})
+			}
+		case cache.Forwarded:
+			// Write-through path is unused for the write-back L2;
+			// forwarded results occur only for write-no-allocate
+			// configurations.
+			part.ch.Push(req, c)
+		}
+	}
+
+	// Drain the L2 miss queue into the DRAM channel.
+	if part.ch.CanPush() {
+		if r := part.l2.PeekMiss(); r != nil {
+			part.l2.PopMiss()
+			part.ch.Push(r, c)
+		}
+	}
+	// Dirty evictions also go to DRAM (writes, fire and forget).
+	if part.ch.CanPush() {
+		if wb := part.l2.PopWriteback(); wb != nil {
+			part.ch.Push(wb, c)
+		}
+	}
+
+	part.ch.Tick(c)
+
+	// DRAM fills complete L2 misses; merged loads produce responses.
+	if fill := part.ch.PopResponse(c); fill != nil {
+		targets := part.l2.Fill(fill.LineAddr)
+		for _, t := range targets {
+			if t.Kind == mem.Load {
+				part.resp = append(part.resp, l2Response{req: t, readyAt: c})
+			}
+		}
+	}
+
+	// Inject up to two responses per cycle into the response network.
+	for inj := 0; inj < 2 && part.respH < len(part.resp) && part.resp[part.respH].readyAt <= c; inj++ {
+		r := part.resp[part.respH].req
+		if !g.respNet.CanPush(p) {
+			break
+		}
+		g.respNet.Push(p, icnt.Packet{Req: r, Dst: r.SM, Flits: g.dataFlits})
+		part.respH++
+		if part.respH > 128 && part.respH*2 > len(part.resp) {
+			part.resp = append(part.resp[:0], part.resp[part.respH:]...)
+			part.respH = 0
+		}
+	}
+}
+
+// repartitionL1 recomputes every SM's L1D way partition from its UMON
+// (the UCP lookahead algorithm).
+func (g *GPU) repartitionL1(minWays int) {
+	if len(g.descs) < 2 {
+		return
+	}
+	for _, s := range g.SMs {
+		u := s.L1.UMONRef()
+		if u == nil {
+			continue
+		}
+		s.L1.SetPartition(u.Lookahead(minWays))
+		u.ResetCounters()
+	}
+}
+
+// Result aggregates statistics across SMs.
+func (g *GPU) Result() *stats.RunResult {
+	r := &stats.RunResult{
+		Cycles:  g.cycle,
+		NumSMs:  len(g.SMs),
+		Kernels: make([]stats.KernelResult, len(g.descs)),
+	}
+	for k, d := range g.descs {
+		kr := &r.Kernels[k]
+		kr.Name = d.Name
+	}
+	for _, s := range g.SMs {
+		r.LSUStallCycles += s.LSUStall
+		r.LSUBusyCycles += s.LSUBusy
+		r.ALUIssued += s.ALUIssued
+		r.SFUIssued += s.SFUIssued
+		r.SMCycles += uint64(g.cycle)
+		r.ALUPortCycles += uint64(g.cycle) * uint64(g.cfg.SM.ALUPorts)
+		r.SFUPortCycles += uint64(g.cycle) * uint64(g.cfg.SM.SFUPorts)
+		for k := range g.descs {
+			kr := &r.Kernels[k]
+			kc := s.K[k]
+			kr.Instrs += kc.Instrs
+			kr.SmemInstrs += kc.SmemInstrs
+			kr.MemInstrs += kc.MemInstrs
+			kr.Requests += kc.Requests
+			kr.TBsDone += kc.TBsDone
+			cs := s.L1.Stats[k]
+			kr.L1D.Accesses += cs.Accesses
+			kr.L1D.Hits += cs.Hits
+			kr.L1D.Misses += cs.Misses
+			kr.L1D.Merged += cs.Merged
+			kr.L1D.Bypassed += cs.Bypassed
+			kr.L1D.RsFail += cs.RsFail
+			kr.L1D.RsFailMSHR += cs.RsFailMSHR
+			kr.L1D.RsFailMQ += cs.RsFailMQ
+			kr.L1D.RsFailLine += cs.RsFailLine
+			if iss, acc := s.Series(k); iss != nil {
+				if kr.Series == nil {
+					kr.Series = &stats.Series{
+						Issued: make([]uint32, len(iss)),
+						L1Acc:  make([]uint32, len(acc)),
+					}
+				}
+				for i := range iss {
+					kr.Series.Issued[i] += iss[i]
+				}
+				for i := range acc {
+					kr.Series.L1Acc[i] += acc[i]
+				}
+			}
+		}
+	}
+	for _, part := range g.parts {
+		for _, st := range part.l2.Stats {
+			r.Mem.L2Accesses += st.Accesses
+		}
+		r.Mem.DRAMAccesses += part.ch.Served
+	}
+	r.Mem.Flits = g.reqNet.TransferredFlits + g.respNet.TransferredFlits
+	if g.cycle > 0 {
+		for k := range r.Kernels {
+			r.Kernels[k].IPC = float64(r.Kernels[k].Instrs) / float64(g.cycle)
+		}
+	}
+	return r
+}
+
+// UniformQuota builds a Quota matrix giving every SM the same per-kernel
+// TB partition.
+func UniformQuota(numSMs int, perSM []int) [][]int {
+	q := make([][]int, numSMs)
+	for i := range q {
+		q[i] = append([]int(nil), perSM...)
+	}
+	return q
+}
+
+// DumpMemState prints memory-system occupancy and statistics to stdout
+// (development and debugging aid used by cmd/ckedebug).
+func (g *GPU) DumpMemState() {
+	fmt.Printf("reqNet flits=%d respNet flits=%d\n", g.reqNet.TransferredFlits, g.respNet.TransferredFlits)
+	for p, part := range g.parts {
+		st := part.l2.Stats
+		var acc, miss, rsf uint64
+		for _, s := range st {
+			acc += s.Accesses
+			miss += s.Misses
+			rsf += s.RsFail
+		}
+		fmt.Printf("part%d: l2 acc=%d miss=%d rsfail=%d mshr=%d missq=%d inQ=%d resp=%d dram: served=%d rowhit=%d q=%d\n",
+			p, acc, miss, rsf, part.l2.MSHRInUse(), part.l2.MissQueueLen(),
+			len(part.inQ)-part.inHead, len(part.resp)-part.respH,
+			part.ch.Served, part.ch.RowHits, part.ch.QueueLen())
+	}
+	for _, s := range g.SMs {
+		fmt.Printf("sm%d: l1 mshr=%d missq=%d lsuStall=%d\n", s.ID, s.L1.MSHRInUse(), s.L1.MissQueueLen(), s.LSUStall)
+	}
+}
+
+// L2KernelStats aggregates kernel k's L2 statistics across partitions
+// (used by L2-congestion-driven controllers).
+func (g *GPU) L2KernelStats(k int) cache.KernelStats {
+	var out cache.KernelStats
+	for _, part := range g.parts {
+		if k >= len(part.l2.Stats) {
+			continue
+		}
+		st := part.l2.Stats[k]
+		out.Accesses += st.Accesses
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Merged += st.Merged
+		out.RsFail += st.RsFail
+		out.RsFailMSHR += st.RsFailMSHR
+		out.RsFailMQ += st.RsFailMQ
+		out.RsFailLine += st.RsFailLine
+	}
+	return out
+}
+
+// DRAMQueueLen returns the summed DRAM channel queue occupancy (a
+// congestion signal for L2-side throttling).
+func (g *GPU) DRAMQueueLen() int {
+	total := 0
+	for _, part := range g.parts {
+		total += part.ch.QueueLen()
+	}
+	return total
+}

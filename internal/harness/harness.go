@@ -1,0 +1,172 @@
+// Package harness drives the paper's experiments: it owns the workload
+// pair/triple sets, caches simulation results across figures, and
+// renders the text tables that stand in for each figure and table of
+// the evaluation (see DESIGN.md's experiment index).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	gcke "repro"
+	"repro/internal/kern"
+	"repro/internal/stats"
+)
+
+// Workload is a named kernel combination with its class label
+// (C+C, C+M, M+M, or the 3-kernel variants).
+type Workload struct {
+	Names []string
+	Class string
+}
+
+// Label renders "bp+sv".
+func (w Workload) Label() string { return strings.Join(w.Names, "+") }
+
+// classOf derives the class label (by the paper's Table 2 typing).
+func classOf(names []string) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		d, err := kern.ByName(n)
+		if err != nil {
+			parts[i] = "?"
+			continue
+		}
+		parts[i] = d.Class.String()
+	}
+	sort.Strings(parts) // C before M
+	return strings.Join(parts, "+")
+}
+
+// NewWorkload builds a workload from kernel names.
+func NewWorkload(names ...string) Workload {
+	return Workload{Names: names, Class: classOf(names)}
+}
+
+// DefaultPairs is the 2-kernel workload set: the six pairs the paper
+// examines closely plus further combinations covering every class.
+func DefaultPairs() []Workload {
+	pairs := [][]string{
+		// The paper's selected two per class (Sections 3.1-3.4).
+		{"pf", "bp"}, {"bp", "hs"}, // C+C
+		{"bp", "sv"}, {"bp", "ks"}, // C+M
+		{"sv", "ks"}, {"sv", "ax"}, // M+M
+		// Additional coverage.
+		{"cp", "dc"}, {"bs", "st"}, // C+C
+		{"hs", "3m"}, {"st", "s2"}, {"cp", "cd"}, {"pf", "ax"}, // C+M
+		{"3m", "s2"}, {"cd", "ks"}, // M+M
+	}
+	out := make([]Workload, len(pairs))
+	for i, p := range pairs {
+		out[i] = NewWorkload(p...)
+	}
+	return out
+}
+
+// AllPairs enumerates every 2-combination of the thirteen benchmarks
+// (78 workloads, the paper's full sweep).
+func AllPairs() []Workload {
+	names := kern.Names()
+	var out []Workload
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			out = append(out, NewWorkload(names[i], names[j]))
+		}
+	}
+	return out
+}
+
+// DefaultTriples is the 3-kernel workload set (Section 4.2), one or two
+// per class.
+func DefaultTriples() []Workload {
+	triples := [][]string{
+		{"pf", "bp", "dc"}, // C+C+C
+		{"bp", "hs", "sv"}, // C+C+M
+		{"bp", "sv", "ks"}, // C+M+M
+		{"sv", "ks", "s2"}, // M+M+M
+		{"cp", "st", "cd"}, // C+C+M
+		{"pf", "3m", "ax"}, // C+M+M
+	}
+	out := make([]Workload, len(triples))
+	for i, tr := range triples {
+		out[i] = NewWorkload(tr...)
+	}
+	return out
+}
+
+// Harness runs and caches experiments against one Session.
+type Harness struct {
+	S   *gcke.Session
+	Out io.Writer
+
+	cache map[string]*gcke.WorkloadResult
+}
+
+// New creates a harness writing its tables to out.
+func New(s *gcke.Session, out io.Writer) *Harness {
+	return &Harness{S: s, Out: out, cache: make(map[string]*gcke.WorkloadResult)}
+}
+
+func (h *Harness) printf(format string, args ...any) {
+	fmt.Fprintf(h.Out, format, args...)
+}
+
+// kernels resolves a workload's descriptors.
+func (h *Harness) kernels(w Workload) ([]gcke.Kernel, error) {
+	out := make([]gcke.Kernel, len(w.Names))
+	for i, n := range w.Names {
+		d, err := gcke.Benchmark(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// Run simulates workload w under scheme, memoized.
+func (h *Harness) Run(w Workload, scheme gcke.Scheme) (*gcke.WorkloadResult, error) {
+	key := w.Label() + "|" + scheme.Name() + fmt.Sprintf("|s%v|u%v|%v|q%v|b%v", scheme.Series, scheme.UCP, scheme.StaticLimits, scheme.QBMIRefreshAllZero, scheme.BypassL1) + fmt.Sprintf("|t%v", scheme.TBThrottle)
+	if r, ok := h.cache[key]; ok {
+		return r, nil
+	}
+	ds, err := h.kernels(w)
+	if err != nil {
+		return nil, err
+	}
+	r, err := h.S.RunWorkload(ds, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", w.Label(), scheme.Name(), err)
+	}
+	h.cache[key] = r
+	return r, nil
+}
+
+// classAverages groups per-workload values by class and appends an ALL
+// row; classes are ordered C-first.
+type classAgg struct {
+	order []string
+	vals  map[string][]float64
+}
+
+func newClassAgg() *classAgg {
+	return &classAgg{vals: make(map[string][]float64)}
+}
+
+func (a *classAgg) add(class string, v float64) {
+	if _, ok := a.vals[class]; !ok {
+		a.order = append(a.order, class)
+		sort.Strings(a.order)
+	}
+	a.vals[class] = append(a.vals[class], v)
+	a.vals["ALL"] = append(a.vals["ALL"], v)
+}
+
+func (a *classAgg) rows() []string {
+	return append(append([]string(nil), a.order...), "ALL")
+}
+
+func (a *classAgg) gmean(class string) float64 { return stats.GMean(a.vals[class]) }
+func (a *classAgg) mean(class string) float64  { return stats.Mean(a.vals[class]) }

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	gcke "repro"
+)
+
+func tinyHarness(t *testing.T) (*Harness, *bytes.Buffer) {
+	t.Helper()
+	s := gcke.NewSession(gcke.ScaledConfig(2), 15_000)
+	s.ProfileCycles = 10_000
+	var buf bytes.Buffer
+	return New(s, &buf), &buf
+}
+
+func tinyPairs() []Workload {
+	return []Workload{NewWorkload("pf", "bp"), NewWorkload("bp", "sv")}
+}
+
+func TestWorkloadLabelsAndClasses(t *testing.T) {
+	w := NewWorkload("bp", "sv")
+	if w.Label() != "bp+sv" {
+		t.Fatalf("label = %q", w.Label())
+	}
+	if w.Class != "C+M" {
+		t.Fatalf("class = %q, want C+M", w.Class)
+	}
+	if c := NewWorkload("sv", "ks").Class; c != "M+M" {
+		t.Fatalf("class = %q, want M+M", c)
+	}
+	if c := NewWorkload("pf", "bp").Class; c != "C+C" {
+		t.Fatalf("class = %q, want C+C", c)
+	}
+	if c := NewWorkload("sv", "bp").Class; c != "C+M" {
+		t.Fatalf("class order must normalize, got %q", c)
+	}
+	if c := NewWorkload("bp", "sv", "ks").Class; c != "C+M+M" {
+		t.Fatalf("triple class = %q", c)
+	}
+}
+
+func TestDefaultPairSets(t *testing.T) {
+	pairs := DefaultPairs()
+	if len(pairs) < 12 {
+		t.Fatalf("default pair set too small: %d", len(pairs))
+	}
+	classes := map[string]int{}
+	for _, w := range pairs {
+		classes[w.Class]++
+	}
+	for _, c := range []string{"C+C", "C+M", "M+M"} {
+		if classes[c] < 2 {
+			t.Errorf("class %s has only %d pairs", c, classes[c])
+		}
+	}
+	if got := len(AllPairs()); got != 78 {
+		t.Fatalf("AllPairs = %d, want 78 (13 choose 2)", got)
+	}
+	if len(DefaultTriples()) < 4 {
+		t.Fatal("need at least one triple per class")
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	h, _ := tinyHarness(t)
+	w := NewWorkload("bp", "sv")
+	sc := gcke.Scheme{Partition: gcke.PartitionEven}
+	r1, err := h.Run(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Run(w, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("identical runs must be memoized")
+	}
+	// A different scheme must not hit the same cache entry.
+	r3, err := h.Run(w, gcke.Scheme{Partition: gcke.PartitionLeftover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("cache key ignores the scheme")
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	h, buf := tinyHarness(t)
+	rows, err := h.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 {
+			t.Errorf("%s: no progress", r.Name)
+		}
+		if r.L1DMissRate < 0 || r.L1DMissRate > 1 {
+			t.Errorf("%s: miss rate %v", r.Name, r.L1DMissRate)
+		}
+	}
+	if err := h.PrintTable2(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Figure 2") {
+		t.Fatal("render missing headers")
+	}
+}
+
+func TestFigure4GapExists(t *testing.T) {
+	h, _ := tinyHarness(t)
+	rows, err := h.Figure4(tinyPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all *Figure4Row
+	for i := range rows {
+		if rows[i].Class == "ALL" {
+			all = &rows[i]
+		}
+	}
+	if all == nil {
+		t.Fatal("no ALL row")
+	}
+	if all.Achieved >= all.Theoretical {
+		t.Fatalf("achieved (%v) must fall short of theoretical (%v)", all.Achieved, all.Theoretical)
+	}
+}
+
+func TestFigure5Runs(t *testing.T) {
+	h, buf := tinyHarness(t)
+	rows, err := h.Figure5(tinyPairs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].WSBase <= 0 || rows[0].WSUCP <= 0 {
+		t.Fatalf("bad rows %+v", rows)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Fatal("missing render")
+	}
+}
+
+func TestFigure6And8Render(t *testing.T) {
+	h, buf := tinyHarness(t)
+	if err := h.Figure6("bp", "sv", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Figure8("bp", "sv", 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "Figure 8") {
+		t.Fatal("missing renders")
+	}
+}
+
+func TestFigure9RendersGrid(t *testing.T) {
+	h, buf := tinyHarness(t)
+	if err := h.Figure9("bp", "sv", []int{8, 0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimum:") || !strings.Contains(out, "inf") {
+		t.Fatalf("grid render incomplete:\n%s", out)
+	}
+}
+
+func TestFigure12And13And14(t *testing.T) {
+	h, buf := tinyHarness(t)
+	if err := h.Figure12(tinyPairs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Figure13(tinyPairs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Figure14([]Workload{NewWorkload("bp", "sv", "dc")}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 12", "Figure 13", "Figure 14",
+		"WeightedSpeedup", "ANTT", "Fairness", "WS-DMIL", "SMK-(P+W)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestClassAgg(t *testing.T) {
+	a := newClassAgg()
+	a.add("C+M", 2)
+	a.add("C+M", 8)
+	a.add("M+M", 3)
+	rows := a.rows()
+	if len(rows) != 3 || rows[len(rows)-1] != "ALL" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if g := a.gmean("C+M"); g < 3.9 || g > 4.1 {
+		t.Fatalf("gmean = %v, want 4", g)
+	}
+	if m := a.mean("C+M"); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+}
+
+func TestPaperTargetsComplete(t *testing.T) {
+	p := PaperTable2()
+	if len(p) != 13 {
+		t.Fatalf("paper table has %d rows", len(p))
+	}
+	for _, name := range []string{"cp", "hs", "dc", "pf", "bp", "bs", "st", "3m", "sv", "cd", "s2", "ks", "ax"} {
+		if _, ok := p[name]; !ok {
+			t.Errorf("missing paper row for %s", name)
+		}
+	}
+	pub := Published()
+	if pub.WSDMILWS <= pub.WSWS {
+		t.Fatal("published DMIL must beat WS")
+	}
+}
+
+func TestPaperComparisonRenders(t *testing.T) {
+	h, buf := tinyHarness(t)
+	err := h.PaperComparison(tinyPairs(), []Workload{NewWorkload("bp", "sv", "dc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"paper vs measured", "classification agreement", "WS-DMIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Paper-vs-measured comparison: the published Table 2 characteristics
+// and the evaluation's headline numbers, lined up against what this
+// reproduction measures. ckebench writes the result to
+// results/paper-vs-measured.txt, which EXPERIMENTS.md mirrors.
+
+package harness
+
+import (
+	gcke "repro"
+	"repro/internal/kern"
+)
+
+// paperTable2 is the published benchmark characterization (Table 2).
+type paperTable2Row struct {
+	CinstPerMinst float64
+	ReqPerMinst   float64
+	MissRate      float64
+	RsfailRate    float64
+	Class         kern.Class
+}
+
+// PaperTable2 returns the published Table 2 rows by benchmark name.
+func PaperTable2() map[string]paperTable2Row {
+	return map[string]paperTable2Row{
+		"cp": {4, 2, 0.45, 0.04, kern.Compute},
+		"hs": {7, 3, 0.97, 1.53, kern.Compute},
+		"dc": {5, 1, 0.09, 0.17, kern.Compute},
+		"pf": {6, 2, 0.99, 0.00, kern.Compute},
+		"bp": {6, 2, 0.80, 0.33, kern.Compute},
+		"bs": {4, 1, 1.00, 0.00, kern.Compute},
+		"st": {4, 1, 0.67, 1.15, kern.Compute},
+		"3m": {2, 1, 0.63, 5.45, kern.Memory},
+		"sv": {3, 3, 0.78, 5.23, kern.Memory},
+		"cd": {9, 6, 0.96, 7.23, kern.Memory},
+		"s2": {2, 2, 0.92, 6.80, kern.Memory},
+		"ks": {3, 17, 1.00, 7.96, kern.Memory},
+		"ax": {2, 11, 0.97, 79.70, kern.Memory},
+	}
+}
+
+// PaperHeadlines are the published evaluation results this reproduction
+// targets at shape level.
+type PaperHeadlines struct {
+	// Average Weighted Speedups (Section 4.1.1): Spatial 1.13, WS 1.20,
+	// WS-QBMI 1.22 (+1.5%), WS-DMIL 1.49 (+24.6%).
+	SpatialWS, WSWS, WSQBMIWS, WSDMILWS float64
+	// ANTT improvements over WS: QBMI 40.5%, DMIL 56.1%.
+	QBMIANTTGain, DMILANTTGain float64
+	// Fairness improvements over WS: QBMI 17.8%, DMIL 32.3%.
+	QBMIFairGain, DMILFairGain float64
+	// SMK (Section 4.1.2): WS gains of QBMI 4.4%, DMIL 27.2% over
+	// SMK-(P+W); ANTT gains 49.2% and 64.6%.
+	SMKQBMIWSGain, SMKDMILWSGain     float64
+	SMKQBMIANTTGain, SMKDMILANTTGain float64
+	// 3-kernel (Section 4.2): WS gains 3.2% / 19.4%; ANTT 58.3% / 68.7%.
+	TriQBMIWSGain, TriDMILWSGain float64
+}
+
+// Published returns the paper's headline numbers.
+func Published() PaperHeadlines {
+	return PaperHeadlines{
+		SpatialWS: 1.13, WSWS: 1.20, WSQBMIWS: 1.22, WSDMILWS: 1.49,
+		QBMIANTTGain: 0.405, DMILANTTGain: 0.561,
+		QBMIFairGain: 0.178, DMILFairGain: 0.323,
+		SMKQBMIWSGain: 0.044, SMKDMILWSGain: 0.272,
+		SMKQBMIANTTGain: 0.492, SMKDMILANTTGain: 0.646,
+		TriQBMIWSGain: 0.032, TriDMILWSGain: 0.194,
+	}
+}
+
+// PaperComparison runs the characterization and the headline evaluation
+// and prints paper-vs-measured, side by side.
+func (h *Harness) PaperComparison(pairs []Workload, triples []Workload) error {
+	rows, err := h.Table2()
+	if err != nil {
+		return err
+	}
+	paper := PaperTable2()
+	h.printf("Table 2 — paper vs measured\n")
+	h.printf("%-5s | %5s %5s | %9s %9s | %10s %10s | %5s %5s\n",
+		"bench", "C/M", "meas", "miss(pap)", "miss(mea)", "rsf(paper)", "rsf(meas)", "type", "meas")
+	classOK := 0
+	for _, r := range rows {
+		p := paper[r.Name]
+		match := " "
+		if p.Class == r.Class {
+			classOK++
+			match = "="
+		}
+		h.printf("%-5s | %5.0f %5.1f | %9.2f %9.2f | %10.2f %10.2f | %4s%s %4s\n",
+			r.Name, p.CinstPerMinst, r.CinstPerMinst,
+			p.MissRate, r.L1DMissRate, p.RsfailRate, r.L1DRsfail,
+			p.Class, match, r.Class)
+	}
+	h.printf("classification agreement: %d/13\n\n", classOK)
+
+	// Headline gains over the WS baseline.
+	pub := Published()
+	gather := func(sc gcke.Scheme, ws []Workload) (wsv, antt, fair float64, err error) {
+		aggWS, aggANTT, aggFair := newClassAgg(), newClassAgg(), newClassAgg()
+		for _, w := range ws {
+			r, e := h.Run(w, sc)
+			if e != nil {
+				return 0, 0, 0, e
+			}
+			aggWS.add(w.Class, r.WeightedSpeedup())
+			aggANTT.add(w.Class, r.ANTT())
+			aggFair.add(w.Class, r.Fairness())
+		}
+		return aggWS.gmean("ALL"), aggANTT.gmean("ALL"), aggFair.gmean("ALL"), nil
+	}
+	type schemeRow struct {
+		label string
+		sc    gcke.Scheme
+	}
+	wsRows := []schemeRow{
+		{"Spatial", gcke.Scheme{Partition: gcke.PartitionSpatial}},
+		{"WS", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer}},
+		{"WS-QBMI", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, MemIssue: gcke.MemIssueQBMI}},
+		{"WS-DMIL", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitDMIL}},
+	}
+	vals := map[string][3]float64{}
+	for _, sr := range wsRows {
+		ws, antt, fair, err := gather(sr.sc, pairs)
+		if err != nil {
+			return err
+		}
+		vals[sr.label] = [3]float64{ws, antt, fair}
+	}
+	base := vals["WS"]
+	gain := func(label string, idx int) float64 {
+		if base[idx] == 0 {
+			return 0
+		}
+		if idx == 1 { // ANTT: lower is better
+			return 1 - vals[label][idx]/base[idx]
+		}
+		return vals[label][idx]/base[idx] - 1
+	}
+	h.printf("Headline gains over the WS baseline (2-kernel set, gmean) — paper vs measured\n")
+	h.printf("%-22s %8s %9s\n", "metric", "paper", "measured")
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-QBMI WeightedSpd", (pub.WSQBMIWS/pub.WSWS-1)*100, gain("WS-QBMI", 0)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-DMIL WeightedSpd", (pub.WSDMILWS/pub.WSWS-1)*100, gain("WS-DMIL", 0)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-QBMI ANTT", pub.QBMIANTTGain*100, gain("WS-QBMI", 1)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-DMIL ANTT", pub.DMILANTTGain*100, gain("WS-DMIL", 1)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-QBMI Fairness", pub.QBMIFairGain*100, gain("WS-QBMI", 2)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "WS-DMIL Fairness", pub.DMILFairGain*100, gain("WS-DMIL", 2)*100)
+
+	// SMK stack.
+	smkRows := []schemeRow{
+		{"SMK-(P+W)", gcke.Scheme{Partition: gcke.PartitionSMK, SMKQuota: true}},
+		{"SMK-(P+QBMI)", gcke.Scheme{Partition: gcke.PartitionSMK, MemIssue: gcke.MemIssueQBMI}},
+		{"SMK-(P+DMIL)", gcke.Scheme{Partition: gcke.PartitionSMK, Limiting: gcke.LimitDMIL}},
+	}
+	svals := map[string][3]float64{}
+	for _, sr := range smkRows {
+		ws, antt, fair, err := gather(sr.sc, pairs)
+		if err != nil {
+			return err
+		}
+		svals[sr.label] = [3]float64{ws, antt, fair}
+	}
+	sbase := svals["SMK-(P+W)"]
+	sgain := func(label string, idx int) float64 {
+		if sbase[idx] == 0 {
+			return 0
+		}
+		if idx == 1 {
+			return 1 - svals[label][idx]/sbase[idx]
+		}
+		return svals[label][idx]/sbase[idx] - 1
+	}
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "SMK+QBMI WeightedSpd", pub.SMKQBMIWSGain*100, sgain("SMK-(P+QBMI)", 0)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "SMK+DMIL WeightedSpd", pub.SMKDMILWSGain*100, sgain("SMK-(P+DMIL)", 0)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "SMK+QBMI ANTT", pub.SMKQBMIANTTGain*100, sgain("SMK-(P+QBMI)", 1)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "SMK+DMIL ANTT", pub.SMKDMILANTTGain*100, sgain("SMK-(P+DMIL)", 1)*100)
+
+	// 3-kernel stack.
+	tri := map[string][3]float64{}
+	for _, sr := range []schemeRow{
+		{"WS", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer}},
+		{"WS-QBMI", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, MemIssue: gcke.MemIssueQBMI}},
+		{"WS-DMIL", gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitDMIL}},
+	} {
+		ws, antt, fair, err := gather(sr.sc, triples)
+		if err != nil {
+			return err
+		}
+		tri[sr.label] = [3]float64{ws, antt, fair}
+	}
+	tbase := tri["WS"]
+	tgain := func(label string, idx int) float64 {
+		if tbase[idx] == 0 {
+			return 0
+		}
+		if idx == 1 {
+			return 1 - tri[label][idx]/tbase[idx]
+		}
+		return tri[label][idx]/tbase[idx] - 1
+	}
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "3-kern QBMI WeightedS", pub.TriQBMIWSGain*100, tgain("WS-QBMI", 0)*100)
+	h.printf("%-22s %7.1f%% %8.1f%%\n", "3-kern DMIL WeightedS", pub.TriDMILWSGain*100, tgain("WS-DMIL", 0)*100)
+	return nil
+}

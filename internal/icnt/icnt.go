@@ -1,0 +1,172 @@
+// Package icnt models the SM <-> memory-partition crossbar of Table 1:
+// a 16x16 crossbar with 32 B flits. Two independent instances form the
+// request and response virtual networks.
+//
+// Each source owns a FIFO injection queue. Each destination port moves
+// up to FlitsPerCycle flits per cycle, granting several small control
+// packets in one cycle while a data packet wider than the link
+// serializes over multiple cycles, plus a fixed traversal latency.
+// Output ports arbitrate among sources round-robin; the destination cap
+// covers the bandwidth-delay product (packets in flight on the wire
+// count against it). Head-of-line blocking at the injection queues is
+// modelled (it is part of the congestion the paper's schemes react to).
+package icnt
+
+import (
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// Packet is one message: a memory request or response plus its size.
+type Packet struct {
+	Req   *mem.Request
+	Dst   int
+	Flits int
+}
+
+type delivered struct {
+	req     *mem.Request
+	readyAt int64
+}
+
+// Network is one direction of the crossbar.
+type Network struct {
+	cfg      config.Icnt
+	nSrc     int
+	nDst     int
+	outQ     [][]Packet
+	rr       []int // per-destination round-robin pointer over sources
+	portFree []int64
+	// inQ holds delivered packets per destination; readyAt is monotonic
+	// per destination because each output port serializes transfers.
+	inQ     [][]delivered
+	inCount []int // packets in flight + queued per destination
+	inCap   int
+
+	// TransferredFlits counts total flits moved (utilization statistic).
+	TransferredFlits uint64
+}
+
+// New builds a network with nSrc sources and nDst destinations.
+func New(cfg config.Icnt, nSrc, nDst int) *Network {
+	fpc := cfg.FlitsPerCycle
+	if fpc < 1 {
+		fpc = 1
+	}
+	n := &Network{
+		cfg:      cfg,
+		nSrc:     nSrc,
+		nDst:     nDst,
+		outQ:     make([][]Packet, nSrc),
+		rr:       make([]int, nDst),
+		portFree: make([]int64, nDst),
+		inQ:      make([][]delivered, nDst),
+		inCount:  make([]int, nDst),
+		// Packets in flight on the wire count toward the destination,
+		// so the cap must cover the bandwidth-delay product plus the
+		// ejection buffer proper.
+		inCap: cfg.QueueDepth + (cfg.Latency+1)*fpc,
+	}
+	return n
+}
+
+// CanPush reports whether source src can inject another packet.
+func (n *Network) CanPush(src int) bool {
+	return len(n.outQ[src]) < n.cfg.QueueDepth
+}
+
+// Push injects a packet from src. It returns false when the injection
+// queue is full.
+func (n *Network) Push(src int, p Packet) bool {
+	if !n.CanPush(src) {
+		return false
+	}
+	n.outQ[src] = append(n.outQ[src], p)
+	return true
+}
+
+// Tick advances the crossbar by one cycle: every free output port
+// arbitrates among sources whose head packet targets it, granting
+// packets until its per-cycle flit budget is spent (several small
+// control packets fit in one cycle; a data packet wider than the link
+// occupies the port for multiple cycles).
+func (n *Network) Tick(cycle int64) {
+	fpc := n.cfg.FlitsPerCycle
+	if fpc < 1 {
+		fpc = 1
+	}
+	for dst := 0; dst < n.nDst; dst++ {
+		if n.portFree[dst] > cycle {
+			continue
+		}
+		budget := fpc
+		for budget > 0 && n.inCount[dst] < n.inCap {
+			start := n.rr[dst]
+			granted := false
+			for i := 0; i < n.nSrc; i++ {
+				src := (start + i) % n.nSrc
+				q := n.outQ[src]
+				if len(q) == 0 || q[0].Dst != dst {
+					continue
+				}
+				p := q[0]
+				if p.Flits > budget && budget < fpc {
+					// Does not fit in what remains of this cycle;
+					// leave it for the next.
+					continue
+				}
+				copy(q, q[1:])
+				n.outQ[src] = q[:len(q)-1]
+				var readyAt int64
+				if p.Flits <= budget {
+					budget -= p.Flits
+					readyAt = cycle + 1 + int64(n.cfg.Latency)
+				} else {
+					// Wider than the link: serialize over cycles.
+					xfer := int64((p.Flits + fpc - 1) / fpc)
+					n.portFree[dst] = cycle + xfer
+					readyAt = cycle + xfer + int64(n.cfg.Latency)
+					budget = 0
+				}
+				n.inQ[dst] = append(n.inQ[dst], delivered{req: p.Req, readyAt: readyAt})
+				n.inCount[dst]++
+				n.TransferredFlits += uint64(p.Flits)
+				n.rr[dst] = (src + 1) % n.nSrc
+				granted = true
+				break
+			}
+			if !granted {
+				break
+			}
+		}
+	}
+}
+
+// Pop returns the next delivered request at destination dst, or nil if
+// none has arrived by cycle.
+func (n *Network) Pop(dst int, cycle int64) *mem.Request {
+	q := n.inQ[dst]
+	if len(q) == 0 || q[0].readyAt > cycle {
+		return nil
+	}
+	r := q[0].req
+	copy(q, q[1:])
+	n.inQ[dst] = q[:len(q)-1]
+	n.inCount[dst]--
+	return r
+}
+
+// Pending reports the number of packets queued or in flight toward dst.
+func (n *Network) Pending(dst int) int { return n.inCount[dst] }
+
+// DataFlits returns the flit count for a packet carrying one cache line.
+func DataFlits(cfg config.Icnt, lineBytes int) int {
+	d := lineBytes / cfg.FlitBytes
+	if d < 1 {
+		d = 1
+	}
+	return cfg.HeaderFlits + d
+}
+
+// CtrlFlits returns the flit count for a header-only packet.
+func CtrlFlits(cfg config.Icnt) int { return cfg.HeaderFlits }

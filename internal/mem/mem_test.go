@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrSpaceDisjointKernels(t *testing.T) {
+	a := NewAddrSpace(128)
+	// Any two different kernels must never produce the same line address
+	// for offsets within the region bound.
+	f := func(off1, off2 uint32) bool {
+		l0 := a.Line(0, uint64(off1))
+		l1 := a.Line(1, uint64(off2))
+		return l0 != l1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrSpaceLineGranularity(t *testing.T) {
+	a := NewAddrSpace(128)
+	if a.Line(0, 0) != a.Line(0, 127) {
+		t.Error("offsets within one line must map to the same line")
+	}
+	if a.Line(0, 127) == a.Line(0, 128) {
+		t.Error("offset 128 must start a new 128B line")
+	}
+}
+
+func TestLineOfMatchesLine(t *testing.T) {
+	a := NewAddrSpace(128)
+	if a.LineOf(2, 5) != a.Line(2, 5*128) {
+		t.Error("LineOf and Line disagree")
+	}
+}
+
+func TestPartitionOfInRange(t *testing.T) {
+	f := func(line uint64, parts uint8) bool {
+		p := int(parts%16) + 1
+		v := PartitionOf(line, p)
+		return v >= 0 && v < p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfSpreadsSequential(t *testing.T) {
+	// A sequential stream must not camp on one partition.
+	const parts = 16
+	var counts [parts]int
+	const n = 1 << 14
+	for i := uint64(0); i < n; i++ {
+		counts[PartitionOf(i, parts)]++
+	}
+	for p, c := range counts {
+		if c < n/parts/2 || c > n/parts*2 {
+			t.Errorf("partition %d got %d of %d accesses (want ~%d)", p, c, n, n/parts)
+		}
+	}
+}
+
+func TestInstrTokenCompletion(t *testing.T) {
+	tok := &InstrToken{Total: 3}
+	for i := 0; i < 2; i++ {
+		tok.Done++
+		if tok.Completed() {
+			t.Fatalf("token completed after %d of 3", tok.Done)
+		}
+	}
+	tok.Done++
+	if !tok.Completed() {
+		t.Fatal("token not completed after all requests done")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("Kind strings wrong")
+	}
+}

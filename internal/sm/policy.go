@@ -1,0 +1,71 @@
+// Policy hook points. The SM consults three small interfaces each cycle;
+// the paper's mechanisms (RBMI, QBMI, SMIL, DMIL, SMK's warp-instruction
+// quota) are implemented against them in internal/core. The zero-cost
+// defaults below reproduce the unmanaged baseline.
+
+package sm
+
+// MemIssuePolicy arbitrates which kernel issues the SM's one memory
+// instruction of this cycle when several kernels have ready candidates
+// (the paper's BMI family plugs in here).
+type MemIssuePolicy interface {
+	// Pick returns the index into kernels of the winning candidate.
+	// kernels lists the kernel slot of each ready candidate in the
+	// scheduler scan order (the unmanaged baseline picks index 0);
+	// kernel slots may repeat.
+	Pick(kernels []int) int
+	// OnIssue reports that kernel issued one memory instruction that
+	// expanded into reqs coalesced requests.
+	OnIssue(kernel, reqs int)
+}
+
+// Limiter caps in-flight memory instructions per kernel (the paper's MIL
+// family). The SM reports the events the DMIL hardware counters observe.
+type Limiter interface {
+	// Allow reports whether kernel, currently holding inflight in-flight
+	// memory accesses (coalesced requests), may issue another memory
+	// instruction.
+	Allow(kernel, inflight int) bool
+	// OnRequest is called for each request that successfully accesses
+	// the L1D (the MILG 10-bit request counter).
+	OnRequest(kernel int)
+	// OnRsFail is called for each reservation-failed access attempt
+	// (the MILG 12-bit reservation-failure counter).
+	OnRsFail(kernel int)
+	// NoteInflight lets the MILG track the peak in-flight memory
+	// instruction count (7-bit counter).
+	NoteInflight(kernel, inflight int)
+	// Tick runs once per SM cycle (drives interval timeouts).
+	Tick(cycle int64)
+}
+
+// IssueGate gates all instruction issue of a kernel (SMK's periodic
+// warp-instruction quota plugs in here).
+type IssueGate interface {
+	CanIssue(kernel int) bool
+	OnIssue(kernel int)
+	Tick(cycle int64)
+}
+
+// NopMemPolicy is the unmanaged baseline: the first ready candidate in
+// scheduler scan order wins.
+type NopMemPolicy struct{}
+
+func (NopMemPolicy) Pick(kernels []int) int   { return 0 }
+func (NopMemPolicy) OnIssue(kernel, reqs int) {}
+
+// NopLimiter never limits.
+type NopLimiter struct{}
+
+func (NopLimiter) Allow(kernel, inflight int) bool   { return true }
+func (NopLimiter) OnRequest(kernel int)              {}
+func (NopLimiter) OnRsFail(kernel int)               {}
+func (NopLimiter) NoteInflight(kernel, inflight int) {}
+func (NopLimiter) Tick(cycle int64)                  {}
+
+// NopGate never gates.
+type NopGate struct{}
+
+func (NopGate) CanIssue(kernel int) bool { return true }
+func (NopGate) OnIssue(kernel int)       {}
+func (NopGate) Tick(cycle int64)         {}

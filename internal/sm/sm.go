@@ -1,0 +1,815 @@
+// Package sm models one streaming multiprocessor: thread-block dispatch
+// against static resources (registers, shared memory, threads, TB
+// slots), four warp schedulers (GTO or LRR), ALU/SFU pipelines with a
+// scoreboard, a memory coalescer and an in-order load/store unit in
+// front of the L1 D-cache.
+//
+// The memory pipeline follows the paper's model: the LSU accepts at most
+// one warp memory instruction per cycle (expanded into Req/Minst
+// coalesced requests), services one request per cycle against the L1D,
+// and *stalls* whenever the head request suffers a reservation failure —
+// blocking every kernel sharing the SM. Which kernel gets the one memory
+// issue slot per cycle is decided by a pluggable MemIssuePolicy; whether
+// a kernel may add another in-flight memory instruction is decided by a
+// pluggable Limiter. These are the paper's BMI and MIL hook points.
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/kern"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+const noBarrier = ^uint64(0)
+
+// Warp is one resident warp.
+type Warp struct {
+	Active      bool
+	doneIssuing bool
+	Kernel      int8
+	SchedID     int8
+	TB          int16
+	Gen         uint32
+	// age is the SM-wide launch sequence number: GTO's "oldest" order.
+	age int64
+
+	IssuedInstrs uint64
+	NextKind     kern.InstrKind
+	pos          int
+	ReadyAt      int64
+	lastCycle    int64 // last cycle this warp issued (at most 1 instr/cycle)
+
+	outBarriers [8]uint64 // barrier indices of outstanding loads
+	outN        int
+
+	Addr kern.AddrState
+	rng  xrand.Source
+}
+
+// minBarrier returns the smallest outstanding-load barrier, or noBarrier.
+func (w *Warp) minBarrier() uint64 {
+	m := uint64(noBarrier)
+	for i := 0; i < w.outN; i++ {
+		if w.outBarriers[i] < m {
+			m = w.outBarriers[i]
+		}
+	}
+	return m
+}
+
+func (w *Warp) removeBarrier(b uint64) {
+	for i := 0; i < w.outN; i++ {
+		if w.outBarriers[i] == b {
+			w.outN--
+			w.outBarriers[i] = w.outBarriers[w.outN]
+			return
+		}
+	}
+}
+
+type tbSlot struct {
+	active    bool
+	kernel    int8
+	warpsLeft int
+	warps     []int
+}
+
+type scheduler struct {
+	warps      []int // assigned warp slots, oldest first
+	lastIssued int   // warp slot of the greedy warp, or -1
+	rrPos      int
+	issuedAt   int64 // cycle of last issue (one instruction per cycle)
+}
+
+type compEntry struct {
+	token *mem.InstrToken
+	at    int64
+}
+
+// SM is one streaming multiprocessor instance.
+type SM struct {
+	ID  int
+	cfg *config.Config
+
+	descs []*kern.Desc
+	quota []int
+
+	L1    *cache.Cache
+	space mem.AddrSpace
+
+	warps     []Warp
+	freeWarps []int
+	tbs       []tbSlot
+	scheds    []scheduler
+
+	tbCount     []int
+	tbLaunched  []uint64
+	threadsUsed int
+	regsUsed    int
+	smemUsed    int
+	dispatchPtr int
+	schedAssign int
+	warpAge     int64
+
+	// The LSU pipeline register: one memory instruction dispatches at a
+	// time, one coalesced request per cycle. A reservation failure
+	// leaves the request in place and stalls the pipeline; a new
+	// instruction can only enter once every request of the current one
+	// has been dispatched. This is the single shared structure the
+	// paper's kernels contend for: a high-Req/Minst instruction holds
+	// the LSU for many cycles and absorbs the failure attribution.
+	lsuReqs []*mem.Request
+	lsuIdx  int
+
+	compQ    []compEntry
+	compHead int
+
+	// smemBusyUntil serializes the banked shared memory: a conflicted
+	// access occupies the unit for multiple cycles.
+	smemBusyUntil int64
+
+	// inflight counts in-flight memory *accesses* (coalesced requests)
+	// per kernel: a kernel's footprint in the miss-handling resources.
+	// The paper's 7-bit MILG counter saturates at 128 — the MSHR count —
+	// i.e. it measures concurrent L1D accesses, which is what this
+	// tracks (an instruction with Req/Minst requests counts Req/Minst).
+	inflight []int
+
+	memPolicy MemIssuePolicy
+	limiter   Limiter
+	gate      IssueGate
+
+	// Statistics.
+	K         []stats.KernelCounters
+	LSUStall  uint64
+	LSUBusy   uint64
+	ALUIssued uint64
+	SFUIssued uint64
+
+	seriesOn     bool
+	seriesIssued [][]uint32
+	seriesL1Acc  [][]uint32
+
+	// warmLines[k] is kernel k's effective warm-region size in lines
+	// (WarmL2Frac scaled by the machine's aggregate L2 capacity).
+	warmLines []uint64
+
+	// Trace, when non-nil, receives cycle-level events.
+	Trace *trace.Buffer
+
+	// Scratch buffers.
+	candKernels []int
+	candWarps   []int
+	candAges    []int64
+	lineBuf     [32]uint64
+
+	rng *xrand.Source
+}
+
+// New builds an SM running the given kernel slots with per-kernel TB
+// quotas. Policies may be nil (unmanaged defaults).
+func New(id int, cfg *config.Config, descs []*kern.Desc, quota []int,
+	memPolicy MemIssuePolicy, limiter Limiter, gate IssueGate, seed uint64) *SM {
+
+	n := len(descs)
+	s := &SM{
+		ID:         id,
+		cfg:        cfg,
+		descs:      descs,
+		quota:      append([]int(nil), quota...),
+		L1:         cache.New(cfg.L1D, n),
+		space:      mem.NewAddrSpace(cfg.L1D.LineBytes),
+		warps:      make([]Warp, cfg.SM.MaxWarps),
+		tbs:        make([]tbSlot, cfg.SM.MaxTBs),
+		scheds:     make([]scheduler, cfg.SM.Schedulers),
+		tbCount:    make([]int, n),
+		tbLaunched: make([]uint64, n),
+		inflight:   make([]int, n),
+		K:          make([]stats.KernelCounters, n),
+		memPolicy:  memPolicy,
+		limiter:    limiter,
+		gate:       gate,
+		rng:        xrand.New(seed ^ (uint64(id)+1)*0xA24BAED4963EE407),
+	}
+	if s.memPolicy == nil {
+		s.memPolicy = NopMemPolicy{}
+	}
+	if s.limiter == nil {
+		s.limiter = NopLimiter{}
+	}
+	if s.gate == nil {
+		s.gate = NopGate{}
+	}
+	for i := range s.scheds {
+		s.scheds[i].lastIssued = -1
+		s.scheds[i].issuedAt = -1
+	}
+	for i := len(s.warps) - 1; i >= 0; i-- {
+		s.warps[i].Gen = 1
+		s.freeWarps = append(s.freeWarps, i)
+	}
+	totalL2Lines := cfg.L2.SizeBytes / cfg.L2.LineBytes * cfg.NumMemParts
+	s.warmLines = make([]uint64, n)
+	for k, d := range descs {
+		s.warmLines[k] = d.EffectiveWarmLines(totalL2Lines)
+	}
+	return s
+}
+
+// EnableSeries turns on 1 K-cycle time-series collection for a run of
+// the given length.
+func (s *SM) EnableSeries(cycles int64) {
+	s.seriesOn = true
+	buckets := int(cycles/stats.SeriesInterval) + 1
+	s.seriesIssued = make([][]uint32, len(s.descs))
+	s.seriesL1Acc = make([][]uint32, len(s.descs))
+	for k := range s.descs {
+		s.seriesIssued[k] = make([]uint32, buckets)
+		s.seriesL1Acc[k] = make([]uint32, buckets)
+	}
+}
+
+// Series returns the collected per-kernel series (nil when disabled).
+func (s *SM) Series(k int) ([]uint32, []uint32) {
+	if !s.seriesOn {
+		return nil, nil
+	}
+	return s.seriesIssued[k], s.seriesL1Acc[k]
+}
+
+// SetQuota replaces the per-kernel TB quota; resident TBs drain
+// naturally (no preemption), matching the paper's baselines.
+func (s *SM) SetQuota(quota []int) {
+	copy(s.quota, quota)
+}
+
+// Drain force-retires every resident warp: each stops issuing
+// immediately and finalizes once its outstanding loads return (their
+// completions are generation-guarded, so recycling the slots is safe).
+// Dynamic Warped-Slicer uses this between profiling rounds; without it
+// a thread block lingers for its full lifetime and pollutes the next
+// round's measurement.
+func (s *SM) Drain() {
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.Active && !w.doneIssuing {
+			w.doneIssuing = true
+			if w.outN == 0 {
+				s.finalizeWarp(i)
+			}
+		}
+	}
+}
+
+// Quota returns the active per-kernel TB quota.
+func (s *SM) Quota() []int { return s.quota }
+
+// TBCount returns the resident TB count of kernel k.
+func (s *SM) TBCount(k int) int { return s.tbCount[k] }
+
+// Inflight returns kernel k's in-flight memory access count.
+func (s *SM) Inflight(k int) int { return s.inflight[k] }
+
+// Tick advances the SM one cycle. Memory responses must have been
+// delivered (Deliver) before the owner calls Tick for the cycle.
+func (s *SM) Tick(cycle int64) {
+	s.gate.Tick(cycle)
+	s.limiter.Tick(cycle)
+	s.drainCompletions(cycle)
+	s.dispatch(cycle)
+	// The LSU dispatches before issue so that the pipeline register can
+	// accept a new memory instruction in the cycle its last request
+	// leaves.
+	s.lsuTick(cycle)
+	memScheduler := s.issueMem(cycle)
+	s.issueCompute(cycle, memScheduler)
+}
+
+// drainCompletions finishes L1-hit loads whose latency elapsed.
+func (s *SM) drainCompletions(cycle int64) {
+	for s.compHead < len(s.compQ) && s.compQ[s.compHead].at <= cycle {
+		t := s.compQ[s.compHead].token
+		s.compHead++
+		s.onReqDone(t)
+	}
+	if s.compHead > 256 && s.compHead*2 > len(s.compQ) {
+		s.compQ = append(s.compQ[:0], s.compQ[s.compHead:]...)
+		s.compHead = 0
+	}
+}
+
+// onReqDone retires one completed request of a memory instruction; when
+// it is the instruction's last, the owning warp's load barrier clears.
+func (s *SM) onReqDone(t *mem.InstrToken) {
+	t.Done++
+	s.inflight[t.Kernel]--
+	s.limiter.NoteInflight(t.Kernel, s.inflight[t.Kernel])
+	if t.Completed() {
+		s.onTokenDone(t)
+	}
+}
+
+// onTokenDone retires one completed memory instruction.
+func (s *SM) onTokenDone(t *mem.InstrToken) {
+	if t.Kind != mem.Load {
+		return
+	}
+	w := &s.warps[t.Warp]
+	if w.Gen != t.WarpGen {
+		return
+	}
+	w.removeBarrier(t.BarrierIdx)
+	if w.doneIssuing && w.outN == 0 {
+		s.finalizeWarp(t.Warp)
+	}
+}
+
+// dispatch launches at most one thread block per cycle, round-robin
+// across kernels under quota.
+func (s *SM) dispatch(cycle int64) {
+	n := len(s.descs)
+	for i := 0; i < n; i++ {
+		k := (s.dispatchPtr + i) % n
+		if s.tbCount[k] >= s.quota[k] {
+			continue
+		}
+		d := s.descs[k]
+		wpt := d.WarpsPerTB(s.cfg.WarpSize)
+		if len(s.freeWarps) < wpt ||
+			s.threadsUsed+d.ThreadsPerTB > s.cfg.SM.MaxThreads ||
+			s.regsUsed+d.ThreadsPerTB*d.RegsPerThread > s.cfg.SM.Registers ||
+			s.smemUsed+d.SmemPerTB > s.cfg.SM.SmemBytes {
+			continue
+		}
+		slot := -1
+		for t := range s.tbs {
+			if !s.tbs[t].active {
+				slot = t
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		s.launchTB(k, slot, wpt, cycle)
+		s.dispatchPtr = (k + 1) % n
+		return
+	}
+}
+
+func (s *SM) launchTB(k, slot, wpt int, cycle int64) {
+	d := s.descs[k]
+	tb := &s.tbs[slot]
+	tb.active = true
+	tb.kernel = int8(k)
+	tb.warpsLeft = wpt
+	tb.warps = tb.warps[:0]
+	tbSeq := s.tbLaunched[k]*uint64(s.cfg.NumSMs) + uint64(s.ID)
+	s.tbLaunched[k]++
+	for wi := 0; wi < wpt; wi++ {
+		slotW := s.freeWarps[len(s.freeWarps)-1]
+		s.freeWarps = s.freeWarps[:len(s.freeWarps)-1]
+		w := &s.warps[slotW]
+		gen := w.Gen
+		s.warpAge++
+		*w = Warp{Active: true, Kernel: int8(k), TB: int16(slot), Gen: gen, age: s.warpAge}
+		seq := tbSeq*uint64(wpt) + uint64(wi)
+		w.rng.Seed(uint64(s.ID)<<32 ^ seq*0x9E3779B97F4A7C15 ^ uint64(k)<<56 ^ s.cfg.Seed)
+		d.InitAddrState(&w.Addr, seq, s.warmLines[k])
+		w.NextKind, w.pos = d.NextKind(0, &w.rng)
+		w.ReadyAt = cycle
+		w.lastCycle = -1
+		sched := s.schedAssign % len(s.scheds)
+		s.schedAssign++
+		w.SchedID = int8(sched)
+		s.scheds[sched].warps = append(s.scheds[sched].warps, slotW)
+		tb.warps = append(tb.warps, slotW)
+	}
+	s.threadsUsed += d.ThreadsPerTB
+	s.regsUsed += d.ThreadsPerTB * d.RegsPerThread
+	s.smemUsed += d.SmemPerTB
+	s.tbCount[k]++
+	if s.Trace != nil {
+		s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.TBLaunch, SM: int8(s.ID), Kernel: int8(k), Arg: uint64(slot)})
+	}
+}
+
+func (s *SM) finalizeWarp(slotW int) {
+	w := &s.warps[slotW]
+	w.Active = false
+	w.Gen++
+	sched := &s.scheds[w.SchedID]
+	for i, x := range sched.warps {
+		if x == slotW {
+			sched.warps = append(sched.warps[:i], sched.warps[i+1:]...)
+			break
+		}
+	}
+	if sched.lastIssued == slotW {
+		sched.lastIssued = -1
+	}
+	s.freeWarps = append(s.freeWarps, slotW)
+	tb := &s.tbs[w.TB]
+	tb.warpsLeft--
+	if tb.warpsLeft == 0 {
+		k := int(tb.kernel)
+		d := s.descs[k]
+		s.threadsUsed -= d.ThreadsPerTB
+		s.regsUsed -= d.ThreadsPerTB * d.RegsPerThread
+		s.smemUsed -= d.SmemPerTB
+		s.tbCount[k]--
+		tb.active = false
+		s.K[k].TBsDone++
+		if s.Trace != nil {
+			s.Trace.Add(trace.Event{Kind: trace.TBDone, SM: int8(s.ID), Kernel: tb.kernel, Arg: uint64(w.TB)})
+		}
+	}
+}
+
+// lsuFree reports whether the LSU pipeline register can accept a new
+// memory instruction.
+func (s *SM) lsuFree() bool { return s.lsuIdx >= len(s.lsuReqs) }
+
+// readyForMem reports whether warp w can issue its memory instruction.
+func (s *SM) readyForMem(w *Warp, cycle int64) bool {
+	if !w.Active || w.doneIssuing || w.lastCycle == cycle || w.ReadyAt > cycle {
+		return false
+	}
+	if w.NextKind != kern.MemLoad && w.NextKind != kern.MemStore {
+		return false
+	}
+	if w.outN > 0 && w.minBarrier() <= w.IssuedInstrs {
+		return false
+	}
+	k := int(w.Kernel)
+	d := s.descs[k]
+	if w.NextKind == kern.MemLoad && w.outN >= d.MaxPendingLoads {
+		return false
+	}
+	if !s.limiter.Allow(k, s.inflight[k]) {
+		return false
+	}
+	return s.gate.CanIssue(k)
+}
+
+// issueMem performs the memory-issue stage: at most one warp memory
+// instruction enters the LSU per cycle. It returns the scheduler that
+// issued, or -1.
+//
+// Candidates are collected per kernel: the oldest ready memory warp of
+// each kernel across all schedulers. The unmanaged default then picks
+// the globally oldest one — greedy-then-oldest semantics, under which a
+// memory-intensive kernel (whose warps are almost always memory-ready)
+// naturally monopolizes the LSU, the starvation the paper's Section 3.2
+// targets. BMI policies override the choice among kernels.
+func (s *SM) issueMem(cycle int64) int {
+	if !s.lsuFree() {
+		return -1
+	}
+	s.candKernels = s.candKernels[:0]
+	s.candWarps = s.candWarps[:0]
+	s.candAges = s.candAges[:0]
+	nk := len(s.descs)
+	for si := range s.scheds {
+		sc := &s.scheds[si]
+		if sc.issuedAt == cycle {
+			continue
+		}
+		var seenHere uint64 // kernels already found in this scheduler
+		found := 0
+		for _, slotW := range sc.warps {
+			w := &s.warps[slotW]
+			k := int(w.Kernel)
+			if seenHere&(1<<uint(k)) != 0 {
+				continue
+			}
+			if !s.readyForMem(w, cycle) {
+				continue
+			}
+			// Within a scheduler warps are age-ordered, so the first
+			// ready warp of each kernel is its oldest here.
+			seenHere |= 1 << uint(k)
+			found++
+			idx := -1
+			for i, ck := range s.candKernels {
+				if ck == k {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				s.candKernels = append(s.candKernels, k)
+				s.candWarps = append(s.candWarps, slotW)
+				s.candAges = append(s.candAges, w.age)
+			} else if w.age < s.candAges[idx] {
+				s.candWarps[idx] = slotW
+				s.candAges[idx] = w.age
+			}
+			if found == nk {
+				break
+			}
+		}
+	}
+	if len(s.candKernels) == 0 {
+		return -1
+	}
+	pick := 0
+	if len(s.candKernels) > 1 {
+		if _, isNop := s.memPolicy.(NopMemPolicy); isNop {
+			for i := 1; i < len(s.candAges); i++ {
+				if s.candAges[i] < s.candAges[pick] {
+					pick = i
+				}
+			}
+		} else {
+			pick = s.memPolicy.Pick(s.candKernels)
+			if pick < 0 || pick >= len(s.candKernels) {
+				pick = 0
+			}
+		}
+	}
+	slotW := s.candWarps[pick]
+	w := &s.warps[slotW]
+	k := int(w.Kernel)
+	d := s.descs[k]
+	kind := mem.Load
+	if w.NextKind == kern.MemStore {
+		kind = mem.Store
+	}
+	nreq := d.GenLines(&w.Addr, &w.rng, s.lineBuf[:], kind == mem.Store, s.warmLines[k])
+	barrier := uint64(noBarrier)
+	if kind == mem.Load {
+		barrier = w.IssuedInstrs + uint64(d.DepDist)
+	}
+	token := &mem.InstrToken{
+		Kernel: k, SM: s.ID, Warp: slotW, Kind: kind,
+		Total: nreq, BarrierIdx: barrier, WarpGen: w.Gen,
+	}
+	s.lsuReqs = s.lsuReqs[:0]
+	s.lsuIdx = 0
+	for i := 0; i < nreq; i++ {
+		s.lsuReqs = append(s.lsuReqs, &mem.Request{
+			LineAddr:   s.space.LineOf(k, s.lineBuf[i]),
+			Kind:       kind,
+			Kernel:     k,
+			SM:         s.ID,
+			Warp:       slotW,
+			Instr:      token,
+			IssueCycle: cycle,
+		})
+	}
+	if kind == mem.Load {
+		w.outBarriers[w.outN] = barrier
+		w.outN++
+	}
+	s.inflight[k] += nreq
+	s.limiter.NoteInflight(k, s.inflight[k])
+	s.memPolicy.OnIssue(k, nreq)
+	s.gate.OnIssue(k)
+	if s.Trace != nil {
+		s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.IssueMem, SM: int8(s.ID), Kernel: int8(k), Warp: int16(slotW), Arg: uint64(nreq)})
+	}
+	s.K[k].Instrs++
+	s.K[k].MemInstrs++
+	if s.seriesOn {
+		s.seriesIssued[k][cycle/stats.SeriesInterval]++
+	}
+	sched := int(w.SchedID)
+	s.scheds[sched].issuedAt = cycle
+	s.scheds[sched].lastIssued = slotW
+	// advanceWarp may finalize the warp (store as last instruction), in
+	// which case it also clears the scheduler's greedy pointer.
+	s.advanceWarp(slotW, cycle)
+	return sched
+}
+
+// advanceWarp moves the warp in slot past the instruction it just issued.
+func (s *SM) advanceWarp(slot int, cycle int64) {
+	w := &s.warps[slot]
+	w.lastCycle = cycle
+	w.IssuedInstrs++
+	d := s.descs[w.Kernel]
+	if w.IssuedInstrs >= d.InstrsPerWarp {
+		w.doneIssuing = true
+		if w.outN == 0 {
+			s.finalizeWarp(slot)
+		}
+		return
+	}
+	w.NextKind, w.pos = d.NextKind(w.pos, &w.rng)
+}
+
+// readyForCompute reports whether warp w can issue an ALU/SFU
+// instruction this cycle, given remaining port budgets.
+func (s *SM) readyForCompute(w *Warp, cycle int64, aluLeft, sfuLeft int) bool {
+	if !w.Active || w.doneIssuing || w.lastCycle == cycle || w.ReadyAt > cycle {
+		return false
+	}
+	switch w.NextKind {
+	case kern.ALU:
+		if aluLeft <= 0 {
+			return false
+		}
+	case kern.SFU:
+		if sfuLeft <= 0 {
+			return false
+		}
+	case kern.Smem:
+		if s.smemBusyUntil > cycle {
+			return false
+		}
+	default:
+		return false
+	}
+	if w.outN > 0 && w.minBarrier() <= w.IssuedInstrs {
+		return false
+	}
+	return s.gate.CanIssue(int(w.Kernel))
+}
+
+// issueCompute runs each scheduler's compute-issue slot.
+func (s *SM) issueCompute(cycle int64, memScheduler int) {
+	aluLeft := s.cfg.SM.ALUPorts
+	sfuLeft := s.cfg.SM.SFUPorts
+	lrr := s.cfg.SM.Scheduler == config.LRR
+	for si := range s.scheds {
+		if si == memScheduler {
+			continue
+		}
+		sc := &s.scheds[si]
+		if sc.issuedAt == cycle || len(sc.warps) == 0 {
+			continue
+		}
+		picked := -1
+		if !lrr && sc.lastIssued >= 0 {
+			w := &s.warps[sc.lastIssued]
+			if int(w.SchedID) == si && s.readyForCompute(w, cycle, aluLeft, sfuLeft) {
+				picked = sc.lastIssued
+			}
+		}
+		if picked < 0 {
+			n := len(sc.warps)
+			start := 0
+			if lrr {
+				start = sc.rrPos % n
+			}
+			for i := 0; i < n; i++ {
+				slotW := sc.warps[(start+i)%n]
+				w := &s.warps[slotW]
+				if s.readyForCompute(w, cycle, aluLeft, sfuLeft) {
+					picked = slotW
+					if lrr {
+						sc.rrPos = (start + i + 1) % n
+					}
+					break
+				}
+			}
+		}
+		if picked < 0 {
+			continue
+		}
+		w := &s.warps[picked]
+		k := int(w.Kernel)
+		switch w.NextKind {
+		case kern.ALU:
+			aluLeft--
+			s.ALUIssued++
+			s.K[k].ALUInstrs++
+			w.ReadyAt = cycle + int64(s.cfg.SM.ALULat)
+		case kern.SFU:
+			sfuLeft--
+			s.SFUIssued++
+			s.K[k].SFUInstrs++
+			w.ReadyAt = cycle + int64(s.cfg.SM.SFULat)
+		case kern.Smem:
+			d := s.descs[k]
+			// A bank conflict serializes the access over extra cycles
+			// (degree 2..SmemBanks/4, drawn per access).
+			busy := int64(1)
+			if d.SmemConflictProb > 0 && w.rng.Bool(d.SmemConflictProb) {
+				maxDeg := s.cfg.SM.SmemBanks / 4
+				if maxDeg < 2 {
+					maxDeg = 2
+				}
+				busy = int64(2 + w.rng.Intn(maxDeg-1))
+			}
+			s.smemBusyUntil = cycle + busy
+			s.K[k].SmemInstrs++
+			w.ReadyAt = cycle + int64(s.cfg.SM.SmemLat) + busy - 1
+		}
+		s.K[k].Instrs++
+		if s.seriesOn {
+			s.seriesIssued[k][cycle/stats.SeriesInterval]++
+		}
+		s.gate.OnIssue(k)
+		if s.Trace != nil {
+			s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.IssueCompute, SM: int8(s.ID), Kernel: int8(k), Warp: int16(picked)})
+		}
+		sc.issuedAt = cycle
+		sc.lastIssued = picked
+		s.advanceWarp(picked, cycle)
+	}
+}
+
+// lsuTick services one coalesced request against the L1D.
+func (s *SM) lsuTick(cycle int64) {
+	if s.lsuIdx >= len(s.lsuReqs) {
+		return
+	}
+	req := s.lsuReqs[s.lsuIdx]
+	res := s.L1.Access(req)
+	if res.Failed() {
+		k := req.Kernel
+		s.LSUStall++
+		s.K[k].StallRsf++
+		s.limiter.OnRsFail(k)
+		if s.Trace != nil {
+			s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.RsFail, SM: int8(s.ID), Kernel: int8(k), Warp: int16(req.Warp), Arg: uint64(res)})
+		}
+		return
+	}
+	s.lsuIdx++
+	k := req.Kernel
+	s.LSUBusy++
+	s.K[k].Requests++
+	s.limiter.OnRequest(k)
+	if s.seriesOn {
+		s.seriesL1Acc[k][cycle/stats.SeriesInterval]++
+	}
+	if s.Trace != nil {
+		var arg uint64
+		switch res {
+		case cache.Miss:
+			arg = 1
+		case cache.HitPending:
+			arg = 2
+		case cache.Forwarded:
+			arg = 3
+		case cache.Bypassed:
+			arg = 4
+		}
+		s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.L1Access, SM: int8(s.ID), Kernel: int8(k), Warp: int16(req.Warp), Arg: arg})
+	}
+	switch res {
+	case cache.Hit:
+		if req.Kind == mem.Load {
+			s.compQ = append(s.compQ, compEntry{token: req.Instr, at: cycle + int64(s.cfg.L1D.HitLatency)})
+		} else {
+			s.onReqDone(req.Instr)
+		}
+	case cache.Forwarded:
+		// Stores complete at forward; the write travels below on its own.
+		s.onReqDone(req.Instr)
+	case cache.Miss, cache.HitPending, cache.Bypassed:
+		// Completion arrives with the fill (or, for a bypassed load,
+		// with the response addressed straight to this instruction).
+	}
+}
+
+// Deliver accepts one memory response (a filled line) from the
+// interconnect and completes the merged loads.
+func (s *SM) Deliver(resp *mem.Request) {
+	if resp.Instr != nil {
+		// A bypassed load: the response answers the original request
+		// directly, with no line to fill.
+		s.onReqDone(resp.Instr)
+		return
+	}
+	if s.Trace != nil {
+		s.Trace.Add(trace.Event{Kind: trace.Fill, SM: int8(s.ID), Kernel: int8(resp.Kernel), Arg: resp.LineAddr})
+	}
+	targets := s.L1.Fill(resp.LineAddr)
+	for _, t := range targets {
+		if t.Instr == nil {
+			continue
+		}
+		s.onReqDone(t.Instr)
+	}
+}
+
+// PeekOutbound returns the next request destined for the memory
+// partitions without consuming it.
+func (s *SM) PeekOutbound() *mem.Request { return s.L1.PeekMiss() }
+
+// PopOutbound consumes the next outbound request.
+func (s *SM) PopOutbound() *mem.Request { return s.L1.PopMiss() }
+
+// Validate checks the workload against the configuration.
+func Validate(cfg *config.Config, descs []*kern.Desc) error {
+	for _, d := range descs {
+		if err := d.Validate(cfg); err != nil {
+			return err
+		}
+		if d.ReqPerMinst > 32 {
+			return fmt.Errorf("sm: kernel %s ReqPerMinst (%d) exceeds the coalescer buffer (32)",
+				d.Name, d.ReqPerMinst)
+		}
+	}
+	return nil
+}

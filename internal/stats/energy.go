@@ -1,0 +1,80 @@
+// Energy accounting (Section 4.5): the paper argues that although the
+// proposed schemes may raise average dynamic power (compute utilization
+// improves), whole-run energy efficiency improves because the same work
+// finishes with far less leakage. This model makes that claim
+// measurable: per-event dynamic energies plus per-SM-cycle leakage.
+
+package stats
+
+// EnergyModel holds per-event energies in picojoules and leakage in
+// picojoules per SM-cycle. The defaults are order-of-magnitude figures
+// for a 28 nm GPU (McPAT/GPUWattch-flavoured); the paper's argument
+// depends only on leakage being a large fixed cost per cycle.
+type EnergyModel struct {
+	ALUInstrPJ   float64
+	SFUInstrPJ   float64
+	L1DAccessPJ  float64
+	L2AccessPJ   float64
+	DRAMAccessPJ float64
+	FlitHopPJ    float64
+	// LeakagePJPerSMCycle is burned every cycle by every SM regardless
+	// of activity.
+	LeakagePJPerSMCycle float64
+}
+
+// DefaultEnergyModel returns the reference constants.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		ALUInstrPJ:          20,
+		SFUInstrPJ:          60,
+		L1DAccessPJ:         30,
+		L2AccessPJ:          75,
+		DRAMAccessPJ:        2000,
+		FlitHopPJ:           8,
+		LeakagePJPerSMCycle: 400,
+	}
+}
+
+// MemSystemCounters aggregates memory-system activity for the energy
+// model (filled by the GPU at Result time).
+type MemSystemCounters struct {
+	L2Accesses   uint64
+	DRAMAccesses uint64
+	Flits        uint64
+}
+
+// Energy is a run's energy breakdown in picojoules.
+type Energy struct {
+	DynamicPJ float64
+	LeakagePJ float64
+}
+
+// TotalPJ is dynamic plus leakage energy.
+func (e Energy) TotalPJ() float64 { return e.DynamicPJ + e.LeakagePJ }
+
+// Energy computes the run's energy under the model.
+func (r *RunResult) Energy(m EnergyModel) Energy {
+	// One successful L1D access per LSU-busy cycle.
+	dyn := float64(r.ALUIssued)*m.ALUInstrPJ +
+		float64(r.SFUIssued)*m.SFUInstrPJ +
+		float64(r.LSUBusyCycles)*m.L1DAccessPJ +
+		float64(r.Mem.L2Accesses)*m.L2AccessPJ +
+		float64(r.Mem.DRAMAccesses)*m.DRAMAccessPJ +
+		float64(r.Mem.Flits)*m.FlitHopPJ
+	leak := float64(r.SMCycles) * m.LeakagePJPerSMCycle
+	return Energy{DynamicPJ: dyn, LeakagePJ: leak}
+}
+
+// InstrsPerMicroJoule is the run's energy efficiency: warp instructions
+// completed per microjoule (higher is better).
+func (r *RunResult) InstrsPerMicroJoule(m EnergyModel) float64 {
+	e := r.Energy(m).TotalPJ()
+	if e <= 0 {
+		return 0
+	}
+	var instrs uint64
+	for _, k := range r.Kernels {
+		instrs += k.Instrs
+	}
+	return float64(instrs) / (e / 1e6)
+}

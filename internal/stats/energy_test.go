@@ -1,0 +1,59 @@
+package stats
+
+import "testing"
+
+func TestEnergyBreakdown(t *testing.T) {
+	r := &RunResult{
+		Cycles:        1000,
+		SMCycles:      2000, // 2 SMs
+		ALUIssued:     4000,
+		SFUIssued:     100,
+		LSUBusyCycles: 500,
+		Mem:           MemSystemCounters{L2Accesses: 400, DRAMAccesses: 50, Flits: 3000},
+		Kernels:       []KernelResult{{Instrs: 5000}},
+	}
+	m := DefaultEnergyModel()
+	e := r.Energy(m)
+	wantDyn := 4000*m.ALUInstrPJ + 100*m.SFUInstrPJ + 500*m.L1DAccessPJ +
+		400*m.L2AccessPJ + 50*m.DRAMAccessPJ + 3000*m.FlitHopPJ
+	if e.DynamicPJ != wantDyn {
+		t.Fatalf("dynamic = %v, want %v", e.DynamicPJ, wantDyn)
+	}
+	if e.LeakagePJ != 2000*m.LeakagePJPerSMCycle {
+		t.Fatalf("leakage = %v", e.LeakagePJ)
+	}
+	if e.TotalPJ() != e.DynamicPJ+e.LeakagePJ {
+		t.Fatal("total mismatch")
+	}
+	if r.InstrsPerMicroJoule(m) <= 0 {
+		t.Fatal("efficiency must be positive")
+	}
+}
+
+// TestEnergyEfficiencyRewardsUtilization encodes the paper's Section 4.5
+// argument: for the same cycle count (fixed leakage), doing more work
+// yields better instructions-per-joule even though dynamic energy rises.
+func TestEnergyEfficiencyRewardsUtilization(t *testing.T) {
+	m := DefaultEnergyModel()
+	lazy := &RunResult{
+		SMCycles: 10_000, ALUIssued: 1_000, LSUBusyCycles: 200,
+		Kernels: []KernelResult{{Instrs: 1_200}},
+	}
+	busy := &RunResult{
+		SMCycles: 10_000, ALUIssued: 10_000, LSUBusyCycles: 2_000,
+		Kernels: []KernelResult{{Instrs: 12_000}},
+	}
+	if busy.Energy(m).DynamicPJ <= lazy.Energy(m).DynamicPJ {
+		t.Fatal("higher utilization must raise dynamic energy")
+	}
+	if busy.InstrsPerMicroJoule(m) <= lazy.InstrsPerMicroJoule(m) {
+		t.Fatal("higher utilization must improve energy efficiency")
+	}
+}
+
+func TestEnergyZeroSafe(t *testing.T) {
+	var r RunResult
+	if r.InstrsPerMicroJoule(DefaultEnergyModel()) != 0 {
+		t.Fatal("zero run must have zero efficiency")
+	}
+}

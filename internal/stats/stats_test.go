@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSpeedup(t *testing.T) {
+	if got := WeightedSpeedup([]float64{0.5, 0.7}); got != 1.2 {
+		t.Fatalf("WS = %v", got)
+	}
+	if got := WeightedSpeedup(nil); got != 0 {
+		t.Fatalf("WS(nil) = %v", got)
+	}
+}
+
+func TestANTT(t *testing.T) {
+	// Slowdowns 2 and 4 -> ANTT 3.
+	if got := ANTT([]float64{0.5, 0.25}); got != 3 {
+		t.Fatalf("ANTT = %v, want 3", got)
+	}
+	if got := ANTT([]float64{0, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("ANTT with a zero speedup = %v, want +Inf", got)
+	}
+	if got := ANTT(nil); got != 0 {
+		t.Fatalf("ANTT(nil) = %v", got)
+	}
+}
+
+func TestFairness(t *testing.T) {
+	if got := Fairness([]float64{0.5, 0.25}); got != 0.5 {
+		t.Fatalf("fairness = %v, want 0.5", got)
+	}
+	if got := Fairness([]float64{0.4, 0.4}); got != 1 {
+		t.Fatalf("equal speedups fairness = %v, want 1", got)
+	}
+	if got := Fairness(nil); got != 0 {
+		t.Fatal("empty fairness must be 0")
+	}
+}
+
+func TestFairnessBounds(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a == 0 && b == 0 {
+			return true
+		}
+		v := Fairness([]float64{a, b})
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMean(t *testing.T) {
+	got := GMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("gmean(1,4) = %v, want 2", got)
+	}
+	// Non-positive values ignored.
+	if got := GMean([]float64{0, 2, -1, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("gmean ignoring nonpositive = %v, want 4", got)
+	}
+	if GMean(nil) != 0 {
+		t.Fatal("gmean(nil) != 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean(nil) != 0")
+	}
+}
+
+func TestRunResultRates(t *testing.T) {
+	r := &RunResult{
+		Cycles:         1000,
+		SMCycles:       1000,
+		LSUStallCycles: 250,
+		ALUIssued:      2000,
+		ALUPortCycles:  4000,
+		SFUIssued:      100,
+		SFUPortCycles:  1000,
+	}
+	if got := r.LSUStallFrac(); got != 0.25 {
+		t.Fatalf("stall = %v", got)
+	}
+	if got := r.ALUUtil(); got != 0.5 {
+		t.Fatalf("alu = %v", got)
+	}
+	if got := r.SFUUtil(); got != 0.1 {
+		t.Fatalf("sfu = %v", got)
+	}
+	if got := r.ComputeUtil(); got != 2100.0/5000 {
+		t.Fatalf("compute = %v", got)
+	}
+}
+
+func TestRunResultZeroSafe(t *testing.T) {
+	var r RunResult
+	if r.LSUStallFrac() != 0 || r.ALUUtil() != 0 || r.SFUUtil() != 0 ||
+		r.ComputeUtil() != 0 || r.TotalIPC() != 0 {
+		t.Fatal("zero-value RunResult rates must be 0")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	r := &RunResult{
+		Cycles: 100,
+		Kernels: []KernelResult{
+			{Name: "a", IPC: 2},
+			{Name: "b", IPC: 1},
+		},
+	}
+	sp := r.Speedups([]float64{4, 4})
+	if sp[0] != 0.5 || sp[1] != 0.25 {
+		t.Fatalf("speedups = %v", sp)
+	}
+	// Zero isolated IPC must not divide by zero.
+	sp = r.Speedups([]float64{0, 4})
+	if sp[0] != 0 {
+		t.Fatal("zero isolated IPC must yield 0 speedup")
+	}
+}
+
+func TestTotalIPC(t *testing.T) {
+	r := &RunResult{
+		Cycles: 100,
+		Kernels: []KernelResult{
+			{Instrs: 150}, {Instrs: 50},
+		},
+	}
+	if got := r.TotalIPC(); got != 2 {
+		t.Fatalf("total IPC = %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := &RunResult{
+		Cycles:  10,
+		Kernels: []KernelResult{{Name: "bp", IPC: 1.5}},
+	}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,143 @@
+// Package trace provides a lightweight cycle-level event tracer for the
+// simulator: a fixed-capacity ring buffer of compact events that the SM
+// and memory system append to when tracing is enabled (a nil buffer
+// costs one pointer check on the hot path). cmd/cketrace renders traces
+// for pipeline debugging and teaching.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind labels an event.
+type Kind uint8
+
+const (
+	// IssueCompute: a warp issued an ALU/SFU/SMEM instruction.
+	IssueCompute Kind = iota
+	// IssueMem: a warp memory instruction entered the LSU (Arg holds
+	// the coalesced request count).
+	IssueMem
+	// L1Access: a request was serviced by the L1D (Arg: 0 hit, 1 miss,
+	// 2 merged, 3 forwarded, 4 bypassed).
+	L1Access
+	// RsFail: the LSU head suffered a reservation failure (Arg holds
+	// the failure cause as cache.Result).
+	RsFail
+	// Fill: a line fill arrived at the L1D (Arg: line address).
+	Fill
+	// TBLaunch / TBDone: thread-block lifecycle (Arg: TB slot).
+	TBLaunch
+	TBDone
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IssueCompute:
+		return "compute"
+	case IssueMem:
+		return "mem-issue"
+	case L1Access:
+		return "l1-access"
+	case RsFail:
+		return "rsfail"
+	case Fill:
+		return "fill"
+	case TBLaunch:
+		return "tb-launch"
+	case TBDone:
+		return "tb-done"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record (32 bytes).
+type Event struct {
+	Cycle  int64
+	Arg    uint64
+	Kind   Kind
+	SM     int8
+	Kernel int8
+	Warp   int16
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%8d sm%d k%d w%-3d %-9s arg=%d",
+		e.Cycle, e.SM, e.Kernel, e.Warp, e.Kind, e.Arg)
+}
+
+// Buffer is a ring of the most recent events. The zero value is unusable;
+// create with New. Buffer is not safe for concurrent use (the simulator
+// is single-threaded).
+type Buffer struct {
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// New creates a buffer retaining the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (b *Buffer) Add(e Event) {
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next] = e
+	}
+	b.next = (b.next + 1) % cap(b.ring)
+	b.total++
+}
+
+// Total reports how many events were ever recorded.
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Snapshot returns the retained events, oldest first.
+func (b *Buffer) Snapshot() []Event {
+	if len(b.ring) < cap(b.ring) {
+		out := make([]Event, len(b.ring))
+		copy(out, b.ring)
+		return out
+	}
+	out := make([]Event, 0, len(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Filter returns the retained events matching keep, oldest first.
+func (b *Buffer) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range b.Snapshot() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render formats events, one per line.
+func Render(events []Event) string {
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CountByKind tallies the retained events per kind.
+func (b *Buffer) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range b.Snapshot() {
+		out[e.Kind]++
+	}
+	return out
+}

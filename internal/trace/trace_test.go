@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingEviction(t *testing.T) {
+	b := New(4)
+	for i := int64(0); i < 10; i++ {
+		b.Add(Event{Cycle: i})
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d", b.Total())
+	}
+	snap := b.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.Cycle != int64(6+i) {
+			t.Fatalf("snapshot order wrong: %v", snap)
+		}
+	}
+}
+
+func TestSnapshotBeforeFull(t *testing.T) {
+	b := New(8)
+	b.Add(Event{Cycle: 1})
+	b.Add(Event{Cycle: 2})
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].Cycle != 1 || snap[1].Cycle != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := New(8)
+	b.Add(Event{Kind: RsFail})
+	b.Add(Event{Kind: IssueMem})
+	b.Add(Event{Kind: RsFail})
+	got := b.Filter(func(e Event) bool { return e.Kind == RsFail })
+	if len(got) != 2 {
+		t.Fatalf("filtered %d, want 2", len(got))
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	b := New(8)
+	b.Add(Event{Kind: Fill})
+	b.Add(Event{Kind: Fill})
+	b.Add(Event{Kind: TBLaunch})
+	counts := b.CountByKind()
+	if counts[Fill] != 2 || counts[TBLaunch] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRendering(t *testing.T) {
+	b := New(2)
+	b.Add(Event{Cycle: 5, Kind: IssueMem, SM: 1, Kernel: 0, Warp: 3, Arg: 2})
+	out := Render(b.Snapshot())
+	if !strings.Contains(out, "mem-issue") || !strings.Contains(out, "sm1") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := IssueCompute; k <= TBDone; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	b := New(0)
+	b.Add(Event{Cycle: 1})
+	if len(b.Snapshot()) != 1 {
+		t.Fatal("capacity must clamp to 1")
+	}
+}

@@ -1,0 +1,331 @@
+package gcke
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/sm"
+	"repro/internal/stats"
+)
+
+// Session runs simulations against one fixed architecture configuration
+// and caches isolated-execution profiles (IPCs and scalability curves),
+// which Warped-Slicer, SMK-(P+W) and the normalization of every metric
+// depend on. A Session is not safe for concurrent use.
+type Session struct {
+	cfg    Config
+	cycles int64
+	// ProfileCycles is the length of isolated profiling runs (defaults
+	// to the evaluation length).
+	ProfileCycles int64
+
+	isoIPC   map[string]map[int]float64  // name -> TBs -> IPC
+	isoRun   map[string]*stats.RunResult // name -> full-occupancy isolated result
+	isoSerie map[string]*stats.RunResult // name -> isolated result with series
+}
+
+// NewSession creates a session simulating cycles cycles per run.
+func NewSession(cfg Config, cycles int64) *Session {
+	return &Session{
+		cfg:           cfg,
+		cycles:        cycles,
+		ProfileCycles: cycles,
+		isoIPC:        make(map[string]map[int]float64),
+		isoRun:        make(map[string]*stats.RunResult),
+		isoSerie:      make(map[string]*stats.RunResult),
+	}
+}
+
+// Config returns the session's architecture configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Cycles returns the evaluation run length.
+func (s *Session) Cycles() int64 { return s.cycles }
+
+// RunIsolated simulates kernel d alone at full occupancy and caches the
+// result.
+func (s *Session) RunIsolated(d Kernel) (*RunResult, error) {
+	if r, ok := s.isoRun[d.Name]; ok {
+		return r, nil
+	}
+	r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), false)
+	if err != nil {
+		return nil, err
+	}
+	s.isoRun[d.Name] = r
+	return r, nil
+}
+
+// RunIsolatedSeries is RunIsolated with 1 K-cycle series collection.
+func (s *Session) RunIsolatedSeries(d Kernel) (*RunResult, error) {
+	if r, ok := s.isoSerie[d.Name]; ok {
+		return r, nil
+	}
+	r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), true)
+	if err != nil {
+		return nil, err
+	}
+	s.isoSerie[d.Name] = r
+	return r, nil
+}
+
+func (s *Session) runIsolatedTBs(d Kernel, tbs int, series bool) (*RunResult, error) {
+	descs := []*kern.Desc{&d}
+	opts := &gpu.Options{
+		Cycles: s.ProfileCycles,
+		Quota:  gpu.UniformQuota(s.cfg.NumSMs, []int{tbs}),
+		Series: series,
+	}
+	if series {
+		opts.Cycles = s.cycles
+	}
+	return gpu.Run(s.cfg, descs, opts)
+}
+
+// IsolatedIPC returns kernel d's isolated IPC at n TBs per SM (cached).
+func (s *Session) IsolatedIPC(d Kernel, n int) (float64, error) {
+	m, ok := s.isoIPC[d.Name]
+	if !ok {
+		m = make(map[int]float64)
+		s.isoIPC[d.Name] = m
+	}
+	if v, ok := m[n]; ok {
+		return v, nil
+	}
+	max := d.MaxTBsPerSM(&s.cfg)
+	if n == max {
+		// Share the cached full-occupancy run.
+		r, err := s.RunIsolated(d)
+		if err != nil {
+			return 0, err
+		}
+		m[n] = r.Kernels[0].IPC
+		return m[n], nil
+	}
+	r, err := s.runIsolatedTBs(d, n, false)
+	if err != nil {
+		return 0, err
+	}
+	m[n] = r.Kernels[0].IPC
+	return m[n], nil
+}
+
+// Curve returns kernel d's scalability curve: isolated IPC with 1..max
+// TBs per SM (Figure 3(a)).
+func (s *Session) Curve(d Kernel) ([]float64, error) {
+	max := d.MaxTBsPerSM(&s.cfg)
+	out := make([]float64, max)
+	for n := 1; n <= max; n++ {
+		v, err := s.IsolatedIPC(d, n)
+		if err != nil {
+			return nil, err
+		}
+		out[n-1] = v
+	}
+	return out, nil
+}
+
+// Classify returns the measured class of kernel d: memory-intensive if
+// its isolated LSU-stall fraction is at least 20% (the paper's rule).
+func (s *Session) Classify(d Kernel) (kern.Class, error) {
+	r, err := s.RunIsolated(d)
+	if err != nil {
+		return kern.Compute, err
+	}
+	if r.LSUStallFrac() >= 0.20 {
+		return kern.Memory, nil
+	}
+	return kern.Compute, nil
+}
+
+// Partition computes the per-SM TB partition a scheme would use for the
+// workload, plus the theoretical Weighted Speedup at that point (only
+// meaningful for Warped-Slicer).
+func (s *Session) Partition(ds []Kernel, kind PartitionKind, manual []int) ([]int, float64, error) {
+	descs := toPtrs(ds)
+	switch kind {
+	case PartitionWarpedSlicer:
+		curves := make([][]float64, len(ds))
+		for i := range ds {
+			c, err := s.Curve(ds[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			curves[i] = c
+		}
+		return wsSweetSpot(&s.cfg, descs, curves)
+	case PartitionSMK:
+		return core.DRFPartition(&s.cfg, descs), 0, nil
+	case PartitionLeftover:
+		return core.LeftoverQuota(&s.cfg, descs), 0, nil
+	case PartitionEven:
+		return core.EvenQuota(&s.cfg, descs), 0, nil
+	case PartitionManual:
+		if len(manual) != len(ds) {
+			return nil, 0, fmt.Errorf("gcke: ManualTBs must have one entry per kernel")
+		}
+		return append([]int(nil), manual...), 0, nil
+	case PartitionSpatial:
+		return nil, 0, nil // spatial uses a per-SM matrix, not one row
+	default:
+		return nil, 0, fmt.Errorf("gcke: unknown partition kind %v", kind)
+	}
+}
+
+func wsSweetSpot(cfg *Config, descs []*kern.Desc, curves [][]float64) ([]int, float64, error) {
+	return core.SweetSpot(cfg, descs, curves)
+}
+
+// RunWorkload simulates the kernels concurrently under scheme.
+func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("gcke: empty workload")
+	}
+	descs := toPtrs(ds)
+
+	// Normalization base and profile-driven inputs.
+	isolated := make([]float64, len(ds))
+	for i := range ds {
+		r, err := s.RunIsolated(ds[i])
+		if err != nil {
+			return nil, err
+		}
+		isolated[i] = r.Kernels[0].IPC
+	}
+
+	var quota [][]int
+	var row []int
+	var theoWS float64
+	var dynws *core.DynWS
+	switch scheme.Partition {
+	case PartitionSpatial:
+		quota = core.SpatialQuota(&s.cfg, descs)
+	case PartitionWarpedSlicerDyn:
+		// Online profiling: start from the even partition; the
+		// controller reassigns quotas through the hook.
+		dynws = core.NewDynWS(&s.cfg, descs)
+		quota = gpu.UniformQuota(s.cfg.NumSMs, core.EvenQuota(&s.cfg, descs))
+	default:
+		var err error
+		row, theoWS, err = s.Partition(ds, scheme.Partition, scheme.ManualTBs)
+		if err != nil {
+			return nil, err
+		}
+		quota = gpu.UniformQuota(s.cfg.NumSMs, row)
+	}
+
+	opts := &gpu.Options{
+		Cycles: s.cycles,
+		Quota:  quota,
+		Series: scheme.Series,
+	}
+	var hooks []func(*gpu.GPU, int64)
+	if dynws != nil {
+		hooks = append(hooks, dynws.Hook)
+	}
+	if scheme.TBThrottle {
+		if row == nil {
+			return nil, fmt.Errorf("gcke: TBThrottle needs a uniform TB partition (not spatial/dynamic)")
+		}
+		hooks = append(hooks, core.NewTBThrottle(row).Hook)
+	}
+
+	// Memory issue policy.
+	switch scheme.MemIssue {
+	case MemIssueRBMI:
+		opts.Policies.MemPolicy = func(smID, n int) sm.MemIssuePolicy { return core.NewRBMI(n) }
+	case MemIssueQBMI:
+		initRPM := make([]int, len(ds))
+		for i := range ds {
+			initRPM[i] = ds[i].ReqPerMinst
+		}
+		allZero := scheme.QBMIRefreshAllZero
+		opts.Policies.MemPolicy = func(smID, n int) sm.MemIssuePolicy {
+			q := core.NewQBMI(n, initRPM)
+			q.RefreshAllZero = allZero
+			return q
+		}
+	}
+
+	// Limiter.
+	switch scheme.Limiting {
+	case LimitStatic:
+		if len(scheme.StaticLimits) != len(ds) {
+			return nil, fmt.Errorf("gcke: StaticLimits must have one entry per kernel")
+		}
+		lims := append([]int(nil), scheme.StaticLimits...)
+		opts.Policies.Limiter = func(smID, n int) sm.Limiter { return core.NewSMIL(lims) }
+	case LimitDMIL:
+		opts.Policies.Limiter = func(smID, n int) sm.Limiter { return core.NewDMIL(n) }
+	case LimitGlobalDMIL:
+		shared := core.NewGlobalDMIL(len(ds))
+		opts.Policies.Limiter = func(smID, n int) sm.Limiter { return shared }
+	case LimitL2MIL:
+		shared := core.NewL2MIL(len(ds))
+		opts.Policies.Limiter = func(smID, n int) sm.Limiter { return shared }
+		hooks = append(hooks, shared.Hook)
+	}
+
+	// SMK warp-instruction quota.
+	if scheme.SMKQuota {
+		epoch := scheme.SMKEpoch
+		if epoch <= 0 {
+			epoch = 10 * 1024
+		}
+		iso := append([]float64(nil), isolated...)
+		// Per-SM share of the machine-wide isolated IPC.
+		for i := range iso {
+			iso[i] /= float64(s.cfg.NumSMs)
+		}
+		opts.Policies.Gate = func(smID, n int) sm.IssueGate { return core.NewSMKGate(iso, epoch) }
+	}
+
+	// UCP cache partitioning.
+	if scheme.UCP {
+		opts.UCP = gpu.UCPConfig{Enabled: true, Interval: scheme.UCPInterval, MinWays: 1}
+	}
+
+	// Cache bypassing (Section 4.5 interplay study).
+	if scheme.BypassL1 != nil {
+		if len(scheme.BypassL1) != len(ds) {
+			return nil, fmt.Errorf("gcke: BypassL1 must have one entry per kernel")
+		}
+		opts.BypassL1 = append([]bool(nil), scheme.BypassL1...)
+	}
+
+	if len(hooks) > 0 {
+		opts.HookInterval = 1024
+		opts.Hook = func(g *gpu.GPU, cycle int64) {
+			for _, h := range hooks {
+				h(g, cycle)
+			}
+		}
+	}
+
+	res, err := gpu.Run(s.cfg, descs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if dynws != nil {
+		row = dynws.Partition
+		theoWS = dynws.TheoreticalWS
+	}
+	return &WorkloadResult{
+		RunResult:     res,
+		Scheme:        scheme,
+		TBPartition:   row,
+		IsolatedIPC:   isolated,
+		TheoreticalWS: theoWS,
+	}, nil
+}
+
+func toPtrs(ds []Kernel) []*kern.Desc {
+	out := make([]*kern.Desc, len(ds))
+	for i := range ds {
+		d := ds[i]
+		out[i] = &d
+	}
+	return out
+}
