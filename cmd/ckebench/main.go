@@ -5,10 +5,15 @@
 // Usage:
 //
 //	ckebench [-out results] [-sms 4] [-cycles 300000] [-profile-cycles 60000]
-//	         [-pairs default|all] [-only fig12,fig13] [-paper-scale]
+//	         [-pairs default|all] [-only fig12,fig13] [-paper-scale] [-parallel N]
 //
 // -paper-scale selects the full Table 1 machine (16 SMs) and 2M-cycle
 // runs; expect hours of runtime for the full suite.
+//
+// Each experiment's (workload x scheme) grid fans out over a bounded
+// worker pool (-parallel, default GOMAXPROCS). The engine is
+// deterministic and results are rendered in submission order, so the
+// output files are byte-identical to a serial (-parallel 1) run.
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 	pairsFlag := flag.String("pairs", "default", "pair set: default or all")
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. fig12,fig13)")
 	paperScale := flag.Bool("paper-scale", false, "16 SMs and 2M cycles (slow)")
+	parallel := flag.Int("parallel", 0, "worker pool size per experiment (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := gcke.ScaledConfig(*sms)
@@ -84,6 +90,7 @@ func main() {
 		}
 		defer f.Close()
 		h := harness.New(session, f)
+		h.Parallel = *parallel
 		start := time.Now()
 		if err := fn(h); err != nil {
 			log.Fatalf("%s: %v", name, err)

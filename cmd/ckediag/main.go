@@ -1,5 +1,7 @@
 // Command ckediag compares schemes on one 2-kernel workload
 // (development aid; the full experiment suite lives in cmd/ckebench).
+// The schemes are independent simulations and run concurrently on a
+// bounded worker pool (-parallel); the table order never changes.
 package main
 
 import (
@@ -9,6 +11,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -17,6 +20,7 @@ func main() {
 	cycles := flag.Int64("cycles", 300_000, "evaluation cycles")
 	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
 	pair := flag.String("pair", "bp,sv", "kernel pair")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := gcke.ScaledConfig(*sms)
@@ -44,13 +48,18 @@ func main() {
 		{Partition: gcke.PartitionSMK, MemIssue: gcke.MemIssueQBMI},
 		{Partition: gcke.PartitionSMK, Limiting: gcke.LimitDMIL},
 	}
+	jobs := make([]runner.Job, len(schemes))
+	for i, sc := range schemes {
+		jobs[i] = runner.Job{Session: session, Kernels: ds, Scheme: sc}
+	}
+	results := runner.New(*parallel).Run(jobs)
+	if err := runner.FirstErr(results); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-16s %6s %6s %8s %7s %7s %7s %8s\n",
 		"scheme", "WS", "ANTT", "fairness", "stall", "k0-spd", "k1-spd", "theoWS")
-	for _, sc := range schemes {
-		res, err := session.RunWorkload(ds, sc)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, sc := range schemes {
+		res := results[i].Res
 		sp := res.SpeedupsOf()
 		fmt.Printf("%-16s %6.3f %6.3f %8.3f %7.3f %7.3f %7.3f %8.3f\n",
 			sc.Name(), res.WeightedSpeedup(), res.ANTT(), res.Fairness(),

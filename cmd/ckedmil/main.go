@@ -1,40 +1,77 @@
-// Command ckedmil traces DMIL limit/inflight dynamics on one workload
-// (development aid).
+// Command ckedmil traces DMIL limit/inflight dynamics (development
+// aid). It accepts one or more workloads (semicolon-separated kernel
+// pairs) and traces them concurrently on a bounded worker pool; each
+// trace is buffered and printed in workload order.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/kern"
+	"repro/internal/runner"
 	"repro/internal/sm"
 )
 
 func main() {
 	log.SetFlags(0)
-	pair := flag.String("pair", "bp,ks", "kernels")
-	quota := flag.String("quota", "", "comma-separated TB quota (default max/2)")
+	log.SetPrefix("ckedmil: ")
+	pairs := flag.String("pairs", "bp,ks", "workloads to trace: kernel pairs separated by ';' (e.g. \"bp,ks;bp,sv\")")
+	quota := flag.String("quota", "", "comma-separated TB quota (default max/2); applies to every workload")
 	cycles := flag.Int64("cycles", 300_000, "cycles")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	specs := strings.Split(*pairs, ";")
+	bufs := make([]bytes.Buffer, len(specs))
+	err := runner.MapErr(*parallel, len(specs), func(i int) error {
+		return trace(&bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles)
+	})
+	for i, spec := range specs {
+		if len(specs) > 1 {
+			fmt.Printf("=== %s ===\n", strings.TrimSpace(spec))
+		}
+		os.Stdout.Write(bufs[i].Bytes())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// trace runs one workload with per-kernel DMILs and writes the
+// limit/inflight timeline plus the final result to w.
+func trace(w io.Writer, pairSpec, quotaSpec string, cycles int64) error {
 	cfg := config.Scaled(4)
 	var descs []*kern.Desc
-	for _, n := range strings.Split(*pair, ",") {
+	for _, n := range strings.Split(pairSpec, ",") {
 		d, err := kern.ByName(strings.TrimSpace(n))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dd := d
 		descs = append(descs, &dd)
 	}
 	row := make([]int, len(descs))
-	if *quota != "" {
-		for i, q := range strings.Split(*quota, ",") {
-			fmt.Sscanf(q, "%d", &row[i])
+	if quotaSpec != "" {
+		qs := strings.Split(quotaSpec, ",")
+		if len(qs) != len(descs) {
+			return fmt.Errorf("quota %q has %d entries for %d kernels", quotaSpec, len(qs), len(descs))
+		}
+		for i, q := range qs {
+			v, err := strconv.Atoi(strings.TrimSpace(q))
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad quota entry %q: want a positive integer", q)
+			}
+			row[i] = v
 		}
 	} else {
 		for i, d := range descs {
@@ -46,7 +83,7 @@ func main() {
 	}
 	var dmils []*core.DMIL
 	opts := &gpu.Options{
-		Cycles: *cycles,
+		Cycles: cycles,
 		Quota:  gpu.UniformQuota(cfg.NumSMs, row),
 		Policies: gpu.PolicyFactory{
 			Limiter: func(smID, n int) sm.Limiter {
@@ -57,21 +94,22 @@ func main() {
 		},
 		Hook: func(g *gpu.GPU, cycle int64) {
 			if cycle%50000 == 0 {
-				fmt.Printf("cycle=%7d sm0:", cycle)
+				fmt.Fprintf(w, "cycle=%7d sm0:", cycle)
 				for k := range descs {
-					fmt.Printf("  k%d lim=%3d inf=%3d", k, dmils[0].Limit(k), g.SMs[0].Inflight(k))
+					fmt.Fprintf(w, "  k%d lim=%3d inf=%3d", k, dmils[0].Limit(k), g.SMs[0].Inflight(k))
 				}
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
 		},
 		HookInterval: 1000,
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("quota=%v\n", row)
+	fmt.Fprintf(w, "quota=%v\n", row)
 	g.RunCycles(opts)
-	fmt.Print(g.Result())
-	fmt.Printf("stall=%.3f\n", g.Result().LSUStallFrac())
+	fmt.Fprint(w, g.Result())
+	fmt.Fprintf(w, "stall=%.3f\n", g.Result().LSUStallFrac())
+	return nil
 }

@@ -1,22 +1,28 @@
 // Command ckesweep reproduces Figure 9: Weighted Speedup over a grid of
 // static in-flight memory access limits (SMIL) for a 2-kernel workload.
+// The grid points are independent simulations and run concurrently on a
+// bounded worker pool (-parallel); output is identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
+	log.SetPrefix("ckesweep: ")
 	pair := flag.String("pair", "bp,ks", "kernel pair")
 	sms := flag.Int("sms", 4, "SMs")
 	cycles := flag.Int64("cycles", 150_000, "cycles per point")
 	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	cfg := gcke.ScaledConfig(*sms)
@@ -31,11 +37,29 @@ func main() {
 		}
 		ds = append(ds, d)
 	}
-	var lims []int
-	for _, g := range strings.Split(*grid, ",") {
-		var v int
-		fmt.Sscanf(g, "%d", &v)
-		lims = append(lims, v)
+	lims, err := parseGrid(*grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One job per (limit0, limit1) grid point, in row-major print order.
+	var jobs []runner.Job
+	for _, l0 := range lims {
+		for _, l1 := range lims {
+			jobs = append(jobs, runner.Job{
+				Session: s,
+				Kernels: ds,
+				Scheme: gcke.Scheme{
+					Partition:    gcke.PartitionWarpedSlicer,
+					Limiting:     gcke.LimitStatic,
+					StaticLimits: []int{l0, l1},
+				},
+			})
+		}
+	}
+	results := runner.New(*parallel).Run(jobs)
+	if err := runner.FirstErr(results); err != nil {
+		log.Fatal(err)
 	}
 
 	name := func(v int) string {
@@ -51,18 +75,10 @@ func main() {
 	}
 	fmt.Println()
 	bestWS, bestI, bestJ := -1.0, 0, 0
-	for _, l0 := range lims {
+	for i, l0 := range lims {
 		fmt.Printf("%6s", name(l0))
-		for _, l1 := range lims {
-			res, err := s.RunWorkload(ds, gcke.Scheme{
-				Partition:    gcke.PartitionWarpedSlicer,
-				Limiting:     gcke.LimitStatic,
-				StaticLimits: []int{l0, l1},
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			ws := res.WeightedSpeedup()
+		for j, l1 := range lims {
+			ws := results[i*len(lims)+j].Res.WeightedSpeedup()
 			if ws > bestWS {
 				bestWS, bestI, bestJ = ws, l0, l1
 			}
@@ -71,4 +87,23 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("best: (%s,%s) WS=%.3f\n", name(bestI), name(bestJ), bestWS)
+}
+
+// parseGrid parses the comma-separated limit list, rejecting anything
+// that is not a non-negative integer — a silently-dropped typo would
+// otherwise become limit 0 (= unlimited) and corrupt the sweep.
+func parseGrid(spec string) ([]int, error) {
+	var lims []int
+	for _, g := range strings.Split(spec, ",") {
+		g = strings.TrimSpace(g)
+		v, err := strconv.Atoi(g)
+		if err != nil {
+			return nil, fmt.Errorf("bad grid entry %q: limits must be integers (0 = unlimited)", g)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("bad grid entry %q: limits cannot be negative", g)
+		}
+		lims = append(lims, v)
+	}
+	return lims, nil
 }

@@ -201,6 +201,32 @@ type Scheme struct {
 	Series bool
 }
 
+// Validate rejects scheme combinations the paper never evaluates and
+// per-kernel slice arity mismatches for a workload of nKernels kernels.
+// RunWorkload calls it before simulating; drivers can call it earlier to
+// fail fast when assembling large experiment grids.
+func (s Scheme) Validate(nKernels int) error {
+	if s.SMKQuota && s.MemIssue != MemIssueDefault {
+		return fmt.Errorf("gcke: SMKQuota is mutually exclusive with MemIssue=%s (the paper layers either +W or a memory mechanism on SMK, never both)", s.MemIssue)
+	}
+	if s.SMKQuota && s.Limiting != LimitNone {
+		return fmt.Errorf("gcke: SMKQuota is mutually exclusive with Limiting=%s (the paper layers either +W or a memory mechanism on SMK, never both)", s.Limiting)
+	}
+	if s.Limiting == LimitStatic && len(s.StaticLimits) != nKernels {
+		return fmt.Errorf("gcke: StaticLimits has %d entries for %d kernels", len(s.StaticLimits), nKernels)
+	}
+	if s.Partition == PartitionManual && len(s.ManualTBs) != nKernels {
+		return fmt.Errorf("gcke: ManualTBs has %d entries for %d kernels", len(s.ManualTBs), nKernels)
+	}
+	if s.BypassL1 != nil && len(s.BypassL1) != nKernels {
+		return fmt.Errorf("gcke: BypassL1 has %d entries for %d kernels", len(s.BypassL1), nKernels)
+	}
+	if s.TBThrottle && (s.Partition == PartitionSpatial || s.Partition == PartitionWarpedSlicerDyn) {
+		return fmt.Errorf("gcke: TBThrottle needs a uniform TB partition (not spatial/dynamic)")
+	}
+	return nil
+}
+
 // Name renders a scheme label like "WS-QBMI" or "SMK-(P+W)".
 func (s Scheme) Name() string {
 	n := s.Partition.String()

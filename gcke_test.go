@@ -2,6 +2,7 @@ package gcke
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -231,6 +232,104 @@ func TestInterferenceDirection(t *testing.T) {
 	spD := dmil.SpeedupsOf()
 	if spD[0] <= sp[0] {
 		t.Fatalf("DMIL must recover the compute kernel: %.3f -> %.3f", sp[0], spD[0])
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scheme
+		n    int
+		ok   bool
+	}{
+		{"plain WS", Scheme{Partition: PartitionWarpedSlicer}, 2, true},
+		{"SMK+W", Scheme{Partition: PartitionSMK, SMKQuota: true}, 2, true},
+		{"SMK+W with QBMI", Scheme{Partition: PartitionSMK, SMKQuota: true, MemIssue: MemIssueQBMI}, 2, false},
+		{"SMK+W with RBMI", Scheme{Partition: PartitionSMK, SMKQuota: true, MemIssue: MemIssueRBMI}, 2, false},
+		{"SMK+W with DMIL", Scheme{Partition: PartitionSMK, SMKQuota: true, Limiting: LimitDMIL}, 2, false},
+		{"SMK+W with SMIL", Scheme{Partition: PartitionSMK, SMKQuota: true, Limiting: LimitStatic, StaticLimits: []int{4, 4}}, 2, false},
+		{"SMIL right arity", Scheme{Partition: PartitionWarpedSlicer, Limiting: LimitStatic, StaticLimits: []int{4, 8}}, 2, true},
+		{"SMIL missing limits", Scheme{Partition: PartitionWarpedSlicer, Limiting: LimitStatic}, 2, false},
+		{"SMIL wrong arity", Scheme{Partition: PartitionWarpedSlicer, Limiting: LimitStatic, StaticLimits: []int{4}}, 2, false},
+		{"manual right arity", Scheme{Partition: PartitionManual, ManualTBs: []int{2, 2}}, 2, true},
+		{"manual wrong arity", Scheme{Partition: PartitionManual, ManualTBs: []int{2, 2, 2}}, 2, false},
+		{"bypass right arity", Scheme{Partition: PartitionEven, BypassL1: []bool{false, true}}, 2, true},
+		{"bypass wrong arity", Scheme{Partition: PartitionEven, BypassL1: []bool{true}}, 2, false},
+		{"TBT on WS", Scheme{Partition: PartitionWarpedSlicer, TBThrottle: true}, 2, true},
+		{"TBT on spatial", Scheme{Partition: PartitionSpatial, TBThrottle: true}, 2, false},
+		{"TBT on dynWS", Scheme{Partition: PartitionWarpedSlicerDyn, TBThrottle: true}, 2, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate(c.n)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid scheme accepted", c.name)
+		}
+	}
+}
+
+func TestRunWorkloadRejectsInvalidScheme(t *testing.T) {
+	s := testSession(t)
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+	if _, err := s.RunWorkload([]Kernel{bp, sv}, Scheme{
+		Partition: PartitionSMK, SMKQuota: true, Limiting: LimitDMIL,
+	}); err == nil {
+		t.Fatal("SMKQuota+DMIL accepted by RunWorkload")
+	}
+}
+
+// TestSessionConcurrentProfiling shares one session across goroutines
+// that all demand the same profiles; the in-flight deduplication must
+// hand every caller the same cached objects (and -race verifies the
+// locking).
+func TestSessionConcurrentProfiling(t *testing.T) {
+	s := testSession(t)
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+
+	const n = 8
+	runs := make([]*RunResult, n)
+	ipcs := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.RunIsolated(bp)
+			if err != nil {
+				t.Errorf("RunIsolated: %v", err)
+				return
+			}
+			runs[i] = r
+			d := sv
+			if i%2 == 0 {
+				d = bp
+			}
+			v, err := s.IsolatedIPC(d, 2)
+			if err != nil {
+				t.Errorf("IsolatedIPC: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				ipcs[i], _ = s.IsolatedIPC(bp, 2)
+			} else {
+				ipcs[i] = v
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if runs[i] != runs[0] {
+			t.Fatal("concurrent RunIsolated returned distinct objects for one kernel")
+		}
+	}
+	for i := 2; i < n; i += 2 {
+		if ipcs[i] != ipcs[0] {
+			t.Fatalf("concurrent IsolatedIPC disagrees: %v vs %v", ipcs[i], ipcs[0])
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+// Package flight provides in-flight call deduplication (a minimal
+// generic singleflight): concurrent Do calls with the same key share one
+// execution of the function and all receive its result.
+//
+// The Session profile caches use it so that parallel experiment jobs
+// needing the same isolated profile trigger exactly one profiling
+// simulation instead of one per worker.
+package flight
+
+import "sync"
+
+// call is one in-flight execution.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group deduplicates concurrent calls by key. The zero value is ready to
+// use. V is shared between all callers of the same key, so it must be
+// safe for concurrent read (immutable results, typically).
+type Group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do executes fn once per key at a time: if another goroutine is already
+// running fn for key, Do waits for it and returns its result instead of
+// calling fn again. Once the call completes the key is forgotten, so a
+// later Do runs fn afresh — callers are expected to consult their own
+// cache before invoking Do.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err
+}

@@ -2,7 +2,10 @@
 
 package harness
 
-import "repro/internal/kern"
+import (
+	"repro/internal/kern"
+	"repro/internal/runner"
+)
 
 // Table2Row is one benchmark's measured characteristics.
 type Table2Row struct {
@@ -18,22 +21,24 @@ type Table2Row struct {
 }
 
 // Table2 characterizes every benchmark in isolation (Table 2 and the
-// Figure 2 series in one pass).
+// Figure 2 series in one pass); the thirteen isolated runs execute
+// concurrently on the harness's pool.
 func (h *Harness) Table2() ([]Table2Row, error) {
 	cfg := h.S.Config()
-	var rows []Table2Row
-	for _, name := range kern.Names() {
-		d, err := gckeBenchmark(name)
+	names := kern.Names()
+	rows := make([]Table2Row, len(names))
+	err := runner.MapErr(h.Parallel, len(names), func(i int) error {
+		d, err := gckeBenchmark(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := h.S.RunIsolated(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cls, err := h.S.Classify(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		occ := d.OccupancyAt(&cfg, d.MaxTBsPerSM(&cfg))
 		k := r.Kernels[0]
@@ -55,7 +60,11 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 			row.CinstPerMinst = float64(k.Instrs-k.MemInstrs) / float64(k.MemInstrs)
 			row.ReqPerMinst = float64(k.Requests) / float64(k.MemInstrs)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

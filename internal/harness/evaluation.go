@@ -81,20 +81,14 @@ func evaluationMetrics() []metric {
 	}
 }
 
-// compare runs every workload under every scheme and prints one block
-// per metric with class-aggregated rows.
+// compare runs every workload under every scheme (fanned out over the
+// harness's worker pool) and prints one block per metric with
+// class-aggregated rows.
 func (h *Harness) compare(title string, workloads []Workload, set schemeSet, metrics []metric) error {
 	// results[workload][scheme]
-	results := make([][]*gcke.WorkloadResult, len(workloads))
-	for i, w := range workloads {
-		results[i] = make([]*gcke.WorkloadResult, len(set.schemes))
-		for j, sc := range set.schemes {
-			r, err := h.Run(w, sc)
-			if err != nil {
-				return err
-			}
-			results[i][j] = r
-		}
+	results, err := h.RunAll(workloads, set.schemes)
+	if err != nil {
+		return err
 	}
 	h.printf("%s\n", title)
 	for _, m := range metrics {
@@ -178,6 +172,7 @@ func SensitivityL1D(base gcke.Config, cycles int64, profileCycles int64, pairs [
 		s := gcke.NewSession(cfg, cycles)
 		s.ProfileCycles = profileCycles
 		h := New(s, out.Out)
+		h.Parallel = out.Parallel
 		title := "Sensitivity — L1D capacity " + strconv.Itoa(size/1024) + "KB"
 		if err := h.compare(title, pairs, wsSchemes(), evaluationMetrics()[:2]); err != nil {
 			return err
@@ -194,6 +189,7 @@ func SensitivityLRR(base gcke.Config, cycles int64, profileCycles int64, pairs [
 	s := gcke.NewSession(cfg, cycles)
 	s.ProfileCycles = profileCycles
 	h := New(s, out.Out)
+	h.Parallel = out.Parallel
 	return h.compare("Sensitivity — LRR warp scheduling", pairs, wsSchemes(), evaluationMetrics()[:2])
 }
 
@@ -218,6 +214,7 @@ func AblationMSHR(base gcke.Config, cycles int64, profileCycles int64, pairs []W
 	s := gcke.NewSession(cfg, cycles)
 	s.ProfileCycles = profileCycles
 	h := New(s, out.Out)
+	h.Parallel = out.Parallel
 	return h.compare("Sensitivity — 256 L1D MSHRs", pairs, wsSchemes(), evaluationMetrics()[:2])
 }
 
@@ -277,6 +274,10 @@ func (h *Harness) AblationL2MIL(pairs []Workload) error {
 func (h *Harness) EnergyStudy(pairs []Workload) error {
 	model := gcke.DefaultEnergyModel()
 	set := wsSchemes()
+	results, err := h.RunAll(pairs, set.schemes)
+	if err != nil {
+		return err
+	}
 	h.printf("Energy study (Section 4.5): instructions per microjoule, %v\n\n", "higher is better")
 	h.printf("%-10s %-6s", "workload", "class")
 	for _, l := range set.labels {
@@ -287,14 +288,10 @@ func (h *Harness) EnergyStudy(pairs []Workload) error {
 	for j := range aggs {
 		aggs[j] = newClassAgg()
 	}
-	for _, w := range pairs {
+	for i, w := range pairs {
 		h.printf("%-10s %-6s", w.Label(), w.Class)
-		for j, sc := range set.schemes {
-			r, err := h.Run(w, sc)
-			if err != nil {
-				return err
-			}
-			eff := r.InstrsPerMicroJoule(model)
+		for j := range set.schemes {
+			eff := results[i][j].InstrsPerMicroJoule(model)
 			aggs[j].add(w.Class, eff)
 			h.printf(" %13.1f", eff)
 		}

@@ -9,9 +9,12 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	gcke "repro"
+	"repro/internal/flight"
 	"repro/internal/kern"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -96,12 +99,20 @@ func DefaultTriples() []Workload {
 	return out
 }
 
-// Harness runs and caches experiments against one Session.
+// Harness runs and caches experiments against one Session. Experiment
+// grids (every workload x scheme block) fan out over a bounded worker
+// pool; because the engine is deterministic and results are rendered in
+// submission order, the tables are byte-identical to a serial run.
 type Harness struct {
 	S   *gcke.Session
 	Out io.Writer
+	// Parallel bounds the worker pool used for experiment grids
+	// (0 = GOMAXPROCS, 1 = strictly serial).
+	Parallel int
 
-	cache map[string]*gcke.WorkloadResult
+	mu     sync.Mutex
+	cache  map[string]*gcke.WorkloadResult
+	flight flight.Group[string, *gcke.WorkloadResult]
 }
 
 // New creates a harness writing its tables to out.
@@ -126,22 +137,59 @@ func (h *Harness) kernels(w Workload) ([]gcke.Kernel, error) {
 	return out, nil
 }
 
-// Run simulates workload w under scheme, memoized.
+// Run simulates workload w under scheme, memoized. It is safe to call
+// concurrently; concurrent calls with the same key share one simulation.
 func (h *Harness) Run(w Workload, scheme gcke.Scheme) (*gcke.WorkloadResult, error) {
 	key := w.Label() + "|" + scheme.Name() + fmt.Sprintf("|s%v|u%v|%v|q%v|b%v", scheme.Series, scheme.UCP, scheme.StaticLimits, scheme.QBMIRefreshAllZero, scheme.BypassL1) + fmt.Sprintf("|t%v", scheme.TBThrottle)
-	if r, ok := h.cache[key]; ok {
+	h.mu.Lock()
+	r, ok := h.cache[key]
+	h.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	ds, err := h.kernels(w)
+	return h.flight.Do(key, func() (*gcke.WorkloadResult, error) {
+		h.mu.Lock()
+		r, ok := h.cache[key]
+		h.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+		ds, err := h.kernels(w)
+		if err != nil {
+			return nil, err
+		}
+		r, err = h.S.RunWorkload(ds, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", w.Label(), scheme.Name(), err)
+		}
+		h.mu.Lock()
+		h.cache[key] = r
+		h.mu.Unlock()
+		return r, nil
+	})
+}
+
+// RunAll simulates every workload under every scheme on the harness's
+// worker pool and returns results indexed [workload][scheme]. The first
+// error (in grid order) aborts with a nil matrix.
+func (h *Harness) RunAll(workloads []Workload, schemes []gcke.Scheme) ([][]*gcke.WorkloadResult, error) {
+	results := make([][]*gcke.WorkloadResult, len(workloads))
+	for i := range results {
+		results[i] = make([]*gcke.WorkloadResult, len(schemes))
+	}
+	err := runner.MapErr(h.Parallel, len(workloads)*len(schemes), func(k int) error {
+		i, j := k/len(schemes), k%len(schemes)
+		r, err := h.Run(workloads[i], schemes[j])
+		if err != nil {
+			return err
+		}
+		results[i][j] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r, err := h.S.RunWorkload(ds, scheme)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", w.Label(), scheme.Name(), err)
-	}
-	h.cache[key] = r
-	return r, nil
+	return results, nil
 }
 
 // classAverages groups per-workload values by class and appends an ALL

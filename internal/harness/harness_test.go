@@ -194,6 +194,31 @@ func TestFigure12And13And14(t *testing.T) {
 	}
 }
 
+// TestParallelOutputByteIdentical pins the runner contract at the table
+// level: a figure rendered from a parallel grid must be byte-identical
+// to the strictly serial render.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		s := gcke.NewSession(gcke.ScaledConfig(2), 15_000)
+		s.ProfileCycles = 10_000
+		var buf bytes.Buffer
+		h := New(s, &buf)
+		h.Parallel = parallel
+		if err := h.Figure12(tinyPairs()); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Figure9("bp", "sv", []int{4, 16, 0}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestClassAgg(t *testing.T) {
 	a := newClassAgg()
 	a.add("C+M", 2)

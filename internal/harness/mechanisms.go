@@ -23,14 +23,11 @@ func (h *Harness) Figure8(a, b string, buckets int) error {
 	}
 	h.printf("Figure 8 — warp instructions issued per %d cycles, %s+%s\n",
 		stats.SeriesInterval, a, b)
-	results := make([]*gcke.WorkloadResult, len(schemes))
-	for i, sc := range schemes {
-		r, err := h.Run(w, sc)
-		if err != nil {
-			return err
-		}
-		results[i] = r
+	grid, err := h.RunAll([]Workload{w}, schemes)
+	if err != nil {
+		return err
 	}
+	results := grid[0]
 	for i, sc := range schemes {
 		r := results[i]
 		s0 := r.Kernels[0].Series.Issued
@@ -69,24 +66,32 @@ func (h *Harness) Figure9(a, b string, grid []int) error {
 	}
 	h.printf("Figure 9 — Weighted Speedup vs static limits, %s (rows: Limit_%s, cols: Limit_%s)\n",
 		w.Label(), a, b)
+	// Flatten the limit surface into one scheme list so all grid points
+	// simulate concurrently on the pool.
+	schemes := make([]gcke.Scheme, 0, len(grid)*len(grid))
+	for _, l0 := range grid {
+		for _, l1 := range grid {
+			schemes = append(schemes, gcke.Scheme{
+				Partition:    gcke.PartitionWarpedSlicer,
+				Limiting:     gcke.LimitStatic,
+				StaticLimits: []int{l0, l1},
+			})
+		}
+	}
+	results, err := h.RunAll([]Workload{w}, schemes)
+	if err != nil {
+		return err
+	}
 	h.printf("%7s", "")
 	for _, l1 := range grid {
 		h.printf(" %6s", name(l1))
 	}
 	h.printf("\n")
 	best, bi, bj := -1.0, 0, 0
-	for _, l0 := range grid {
+	for i, l0 := range grid {
 		h.printf("%7s", name(l0))
-		for _, l1 := range grid {
-			r, err := h.Run(w, gcke.Scheme{
-				Partition:    gcke.PartitionWarpedSlicer,
-				Limiting:     gcke.LimitStatic,
-				StaticLimits: []int{l0, l1},
-			})
-			if err != nil {
-				return err
-			}
-			ws := r.WeightedSpeedup()
+		for j, l1 := range grid {
+			ws := results[0][i*len(grid)+j].WeightedSpeedup()
 			if ws > best {
 				best, bi, bj = ws, l0, l1
 			}
@@ -109,17 +114,17 @@ func (h *Harness) Figure11(pairs []Workload, selected []Workload) error {
 	labels := []string{"WS-QBMI", "WS-DMIL", "WS-QBMI+DMIL"}
 
 	h.printf("Figure 11(a) — Weighted Speedup (class gmean)\n")
+	results, err := h.RunAll(pairs, schemes)
+	if err != nil {
+		return err
+	}
 	aggs := make([]*classAgg, len(schemes))
 	for i := range aggs {
 		aggs[i] = newClassAgg()
 	}
-	for _, w := range pairs {
-		for i, sc := range schemes {
-			r, err := h.Run(w, sc)
-			if err != nil {
-				return err
-			}
-			aggs[i].add(w.Class, r.WeightedSpeedup())
+	for wi, w := range pairs {
+		for i := range schemes {
+			aggs[i].add(w.Class, results[wi][i].WeightedSpeedup())
 		}
 	}
 	h.printf("%-8s", "class")
@@ -137,12 +142,13 @@ func (h *Harness) Figure11(pairs []Workload, selected []Workload) error {
 
 	h.printf("\nFigure 11(b,c) — per-kernel L1D miss rate and rsfail rate on selected pairs\n")
 	h.printf("%-8s %-13s %11s %13s\n", "pair", "scheme", "miss k0/k1", "rsfail k0/k1")
-	for _, w := range selected {
-		for i, sc := range schemes {
-			r, err := h.Run(w, sc)
-			if err != nil {
-				return err
-			}
+	sel, err := h.RunAll(selected, schemes)
+	if err != nil {
+		return err
+	}
+	for wi, w := range selected {
+		for i := range schemes {
+			r := sel[wi][i]
 			h.printf("%-8s %-13s %5.2f/%5.2f %6.2f/%6.2f\n",
 				w.Label(), labels[i],
 				r.Kernels[0].L1D.MissRate(), r.Kernels[1].L1D.MissRate(),

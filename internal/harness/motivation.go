@@ -7,6 +7,7 @@ package harness
 
 import (
 	gcke "repro"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -20,14 +21,16 @@ func (h *Harness) Figure3(a, b string) error {
 	}
 	h.printf("Figure 3(a) — isolated IPC vs thread blocks per SM\n")
 	curves := make([][]float64, 2)
-	for i, d := range ds {
-		c, err := h.S.Curve(d)
-		if err != nil {
-			return err
-		}
+	if err := runner.MapErr(h.Parallel, len(ds), func(i int) error {
+		c, err := h.S.Curve(ds[i])
 		curves[i] = c
+		return err
+	}); err != nil {
+		return err
+	}
+	for i, d := range ds {
 		h.printf("%-4s:", d.Name)
-		for _, v := range c {
+		for _, v := range curves[i] {
 			h.printf(" %6.2f", v)
 		}
 		h.printf("\n")
@@ -51,13 +54,14 @@ type Figure4Row struct {
 // theoretical weighted speedup at the chosen partition with the
 // achieved one.
 func (h *Harness) Figure4(pairs []Workload) ([]Figure4Row, error) {
+	results, err := h.RunAll(pairs, []gcke.Scheme{{Partition: gcke.PartitionWarpedSlicer}})
+	if err != nil {
+		return nil, err
+	}
 	theo := newClassAgg()
 	ach := newClassAgg()
-	for _, w := range pairs {
-		res, err := h.Run(w, gcke.Scheme{Partition: gcke.PartitionWarpedSlicer})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range pairs {
+		res := results[i][0]
 		theo.add(w.Class, res.TheoreticalWS)
 		ach.add(w.Class, res.WeightedSpeedup())
 	}
@@ -91,18 +95,18 @@ type Figure5Row struct {
 // Figure5 evaluates UCP cache partitioning on the paper's six selected
 // pairs (plus class geometric means over the full set).
 func (h *Harness) Figure5(pairs []Workload) ([]Figure5Row, error) {
+	results, err := h.RunAll(pairs, []gcke.Scheme{
+		{Partition: gcke.PartitionWarpedSlicer},
+		{Partition: gcke.PartitionWarpedSlicer, UCP: true},
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Figure5Row
 	base := newClassAgg()
 	ucp := newClassAgg()
-	for _, w := range pairs {
-		rb, err := h.Run(w, gcke.Scheme{Partition: gcke.PartitionWarpedSlicer})
-		if err != nil {
-			return nil, err
-		}
-		ru, err := h.Run(w, gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, UCP: true})
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range pairs {
+		rb, ru := results[i][0], results[i][1]
 		base.add(w.Class, rb.WeightedSpeedup())
 		ucp.add(w.Class, ru.WeightedSpeedup())
 		rows = append(rows, Figure5Row{
@@ -141,16 +145,19 @@ func (h *Harness) Figure6(a, b string, buckets int) error {
 	}
 	h.printf("Figure 6 — L1D accesses per %d cycles (%s compute, %s memory)\n",
 		stats.SeriesInterval, a, b)
+	// The two isolated series runs and the concurrent run are
+	// independent simulations; overlap them on the pool.
 	iso := make([]*gcke.RunResult, 2)
-	for i, d := range ds {
-		r, err := h.S.RunIsolatedSeries(d)
-		if err != nil {
-			return err
+	var co *gcke.WorkloadResult
+	if err := runner.MapErr(h.Parallel, 3, func(i int) error {
+		var err error
+		if i < 2 {
+			iso[i], err = h.S.RunIsolatedSeries(ds[i])
+		} else {
+			co, err = h.Run(w, gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Series: true})
 		}
-		iso[i] = r
-	}
-	co, err := h.Run(w, gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Series: true})
-	if err != nil {
+		return err
+	}); err != nil {
 		return err
 	}
 	limit := func(s []uint32) []uint32 {

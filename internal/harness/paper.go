@@ -97,12 +97,13 @@ func (h *Harness) PaperComparison(pairs []Workload, triples []Workload) error {
 	// Headline gains over the WS baseline.
 	pub := Published()
 	gather := func(sc gcke.Scheme, ws []Workload) (wsv, antt, fair float64, err error) {
+		results, err := h.RunAll(ws, []gcke.Scheme{sc})
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		aggWS, aggANTT, aggFair := newClassAgg(), newClassAgg(), newClassAgg()
-		for _, w := range ws {
-			r, e := h.Run(w, sc)
-			if e != nil {
-				return 0, 0, 0, e
-			}
+		for i, w := range ws {
+			r := results[i][0]
 			aggWS.add(w.Class, r.WeightedSpeedup())
 			aggANTT.add(w.Class, r.ANTT())
 			aggFair.add(w.Class, r.Fairness())

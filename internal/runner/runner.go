@@ -1,0 +1,166 @@
+// Package runner is the concurrent experiment-execution layer: it fans
+// a grid of independent (workload x scheme x config) simulation jobs out
+// over a bounded worker pool and delivers the results in submission
+// order, so table and figure renderers produce byte-identical output to
+// a serial loop while the points simulate in parallel.
+//
+// The engine underneath is deterministic (seeded PRNGs, no wall-clock),
+// and the Session profile caches deduplicate concurrent profiling
+// demand, so running through the pool never changes any result — it only
+// changes how many points are in flight at once.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	gcke "repro"
+)
+
+// Job is one simulation point: a workload run under a scheme against an
+// architecture. Either set Session explicitly (to share profile caches
+// with other jobs and with non-runner code) or leave it nil and fill
+// Config/Cycles/ProfileCycles, in which case the Runner derives a
+// Session and shares it between all jobs with the same parameters.
+type Job struct {
+	// Session to run against; overrides Config/Cycles when non-nil.
+	Session *gcke.Session
+	// Config, Cycles and ProfileCycles describe the machine when
+	// Session is nil. ProfileCycles of 0 means Cycles.
+	Config        gcke.Config
+	Cycles        int64
+	ProfileCycles int64
+
+	Kernels []gcke.Kernel
+	Scheme  gcke.Scheme
+}
+
+// Result pairs a job's outcome with any simulation error.
+type Result struct {
+	Res *gcke.WorkloadResult
+	Err error
+}
+
+// Runner executes jobs on a bounded worker pool.
+type Runner struct {
+	workers int
+
+	mu       sync.Mutex
+	sessions map[string]*gcke.Session // derived sessions, deduplicated
+}
+
+// New creates a runner with the given worker count; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, sessions: make(map[string]*gcke.Session)}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Session returns the runner's shared session for a machine description,
+// creating it on first use. Jobs with equal (Config, Cycles,
+// ProfileCycles) share one session and therefore one profile cache.
+func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) *gcke.Session {
+	if profileCycles <= 0 {
+		profileCycles = cycles
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain data struct; Marshal cannot fail in practice
+		// (profiles.go asserts serializability at init).
+		panic(fmt.Sprintf("runner: encoding config: %v", err))
+	}
+	key := fmt.Sprintf("c%d|p%d|%s", cycles, profileCycles, raw)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[key]
+	if !ok {
+		s = gcke.NewSession(cfg, cycles)
+		s.ProfileCycles = profileCycles
+		r.sessions[key] = s
+	}
+	return s
+}
+
+// Run executes all jobs on the pool and returns one Result per job, in
+// submission order. Every job runs to completion even if earlier jobs
+// fail; callers decide whether a single error aborts their experiment.
+func (r *Runner) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	Map(r.workers, len(jobs), func(i int) {
+		j := jobs[i]
+		s := j.Session
+		if s == nil {
+			s = r.Session(j.Config, j.Cycles, j.ProfileCycles)
+		}
+		res, err := s.RunWorkload(j.Kernels, j.Scheme)
+		results[i] = Result{Res: res, Err: err}
+	})
+	return results
+}
+
+// FirstErr returns the first error in results by submission order, so
+// error reporting is deterministic regardless of execution order.
+func FirstErr(results []Result) error {
+	for _, res := range results {
+		if res.Err != nil {
+			return res.Err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and waits for all of
+// them. It is the ordered fan-out primitive underneath Run, exposed for
+// call sites whose unit of work is not a full workload simulation (e.g.
+// per-benchmark characterization). fn must write its output to slot i of
+// a caller-owned slice rather than share state across indices.
+func Map(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MapErr is Map for fallible work: it collects one error per index and
+// returns the first failure in index order (nil if none failed).
+func MapErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	Map(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

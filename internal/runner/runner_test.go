@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	gcke "repro"
+)
+
+func testJobs(t *testing.T, s *gcke.Session) []Job {
+	t.Helper()
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	ks, _ := gcke.Benchmark("ks")
+	schemes := []gcke.Scheme{
+		{Partition: gcke.PartitionWarpedSlicer},
+		{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitDMIL},
+		{Partition: gcke.PartitionSMK, MemIssue: gcke.MemIssueQBMI},
+		{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitStatic, StaticLimits: []int{4, 8}},
+	}
+	var jobs []Job
+	for _, wl := range [][]gcke.Kernel{{bp, sv}, {bp, ks}} {
+		for _, sc := range schemes {
+			jobs = append(jobs, Job{Session: s, Kernels: wl, Scheme: sc})
+		}
+	}
+	return jobs
+}
+
+func testSession(t *testing.T) *gcke.Session {
+	t.Helper()
+	s := gcke.NewSession(gcke.ScaledConfig(2), 15_000)
+	s.ProfileCycles = 10_000
+	return s
+}
+
+// TestParallelMatchesSerial pins the "parallelism never changes results"
+// contract: the same (workload, scheme) grid run twice serially and once
+// through the parallel pool must produce identical RunResult stats.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial1 := New(1).Run(testJobs(t, testSession(t)))
+	serial2 := New(1).Run(testJobs(t, testSession(t)))
+	parallel := New(8).Run(testJobs(t, testSession(t)))
+
+	if err := FirstErr(serial1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial1 {
+		if serial2[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d errors: serial=%v parallel=%v", i, serial2[i].Err, parallel[i].Err)
+		}
+		a, b, c := serial1[i].Res, serial2[i].Res, parallel[i].Res
+		if !reflect.DeepEqual(*a.RunResult, *b.RunResult) {
+			t.Fatalf("job %d: serial reruns disagree (engine not deterministic)", i)
+		}
+		if !reflect.DeepEqual(*a.RunResult, *c.RunResult) {
+			t.Fatalf("job %d: parallel run disagrees with serial", i)
+		}
+		if !reflect.DeepEqual(a.IsolatedIPC, c.IsolatedIPC) {
+			t.Fatalf("job %d: isolated IPCs differ: %v vs %v", i, a.IsolatedIPC, c.IsolatedIPC)
+		}
+		if !reflect.DeepEqual(a.TBPartition, c.TBPartition) {
+			t.Fatalf("job %d: partitions differ: %v vs %v", i, a.TBPartition, c.TBPartition)
+		}
+		if a.WeightedSpeedup() != c.WeightedSpeedup() {
+			t.Fatalf("job %d: WS %v vs %v", i, a.WeightedSpeedup(), c.WeightedSpeedup())
+		}
+	}
+}
+
+// TestSharedSessionUnderConcurrency hammers one session's profile cache
+// from many jobs needing the same profiles; with -race this doubles as
+// the Session thread-safety check.
+func TestSharedSessionUnderConcurrency(t *testing.T) {
+	s := testSession(t)
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = Job{Session: s, Kernels: []gcke.Kernel{bp, sv},
+			Scheme: gcke.Scheme{Partition: gcke.PartitionEven}}
+	}
+	results := New(6).Run(jobs)
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if !reflect.DeepEqual(*results[0].Res.RunResult, *results[i].Res.RunResult) {
+			t.Fatalf("identical jobs %d disagree", i)
+		}
+	}
+	// The shared full-occupancy profiles must be cached as one object.
+	r1, err := s.RunIsolated(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunIsolated(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("isolated profile not cached after concurrent runs")
+	}
+}
+
+func TestRunnerDerivesAndDedupsSessions(t *testing.T) {
+	r := New(4)
+	cfg := gcke.ScaledConfig(2)
+	s1 := r.Session(cfg, 15_000, 10_000)
+	s2 := r.Session(cfg, 15_000, 10_000)
+	if s1 != s2 {
+		t.Fatal("equal machine descriptions must share a session")
+	}
+	if s3 := r.Session(cfg, 20_000, 10_000); s3 == s1 {
+		t.Fatal("different cycles must not share a session")
+	}
+	if s4 := r.Session(gcke.ScaledConfig(4), 15_000, 10_000); s4 == s1 {
+		t.Fatal("different configs must not share a session")
+	}
+
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	res := r.Run([]Job{{
+		Config: cfg, Cycles: 15_000, ProfileCycles: 10_000,
+		Kernels: []gcke.Kernel{bp, sv},
+		Scheme:  gcke.Scheme{Partition: gcke.PartitionEven},
+	}})
+	if err := FirstErr(res); err != nil {
+		t.Fatal(err)
+	}
+	// The job ran against the deduplicated session, so its profiles are
+	// now cached there.
+	if _, err := s1.RunIsolated(bp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsErrorsInOrder(t *testing.T) {
+	s := testSession(t)
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	good := Job{Session: s, Kernels: []gcke.Kernel{bp, sv},
+		Scheme: gcke.Scheme{Partition: gcke.PartitionEven}}
+	bad := Job{Session: s, Kernels: []gcke.Kernel{bp, sv},
+		Scheme: gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitStatic}}
+	results := New(4).Run([]Job{good, bad, good})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good jobs failed: %v %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid scheme accepted")
+	}
+	if err := FirstErr(results); err != results[1].Err {
+		t.Fatalf("FirstErr = %v, want job 1's error", err)
+	}
+}
+
+func TestMapCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		Map(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	Map(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestMapErrReturnsFirstByIndex(t *testing.T) {
+	err := MapErr(8, 10, func(i int) error {
+		if i == 3 || i == 7 {
+			return errIndex(i)
+		}
+		return nil
+	})
+	if err != errIndex(3) {
+		t.Fatalf("err = %v, want index 3", err)
+	}
+	if err := MapErr(8, 10, func(i int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+type errIndex int
+
+func (e errIndex) Error() string { return "error at index" }

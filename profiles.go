@@ -31,6 +31,7 @@ func (s *Session) SaveProfiles(path string) error {
 		Fingerprint: s.fingerprint(),
 		IsoIPC:      make(map[string]map[string]float64),
 	}
+	s.mu.Lock()
 	for name, m := range s.isoIPC {
 		row := make(map[string]float64, len(m))
 		for tbs, ipc := range m {
@@ -38,6 +39,7 @@ func (s *Session) SaveProfiles(path string) error {
 		}
 		pf.IsoIPC[name] = row
 	}
+	s.mu.Unlock()
 	data, err := json.MarshalIndent(pf, "", "  ")
 	if err != nil {
 		return fmt.Errorf("gcke: encoding profiles: %w", err)
@@ -64,6 +66,8 @@ func (s *Session) LoadProfiles(path string) error {
 	if pf.Fingerprint != s.fingerprint() {
 		return fmt.Errorf("gcke: profile fingerprint mismatch (different config or ProfileCycles)")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for name, row := range pf.IsoIPC {
 		m, ok := s.isoIPC[name]
 		if !ok {

@@ -2,8 +2,10 @@ package gcke
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/gpu"
 	"repro/internal/kern"
 	"repro/internal/sm"
@@ -13,17 +15,32 @@ import (
 // Session runs simulations against one fixed architecture configuration
 // and caches isolated-execution profiles (IPCs and scalability curves),
 // which Warped-Slicer, SMK-(P+W) and the normalization of every metric
-// depend on. A Session is not safe for concurrent use.
+// depend on.
+//
+// A Session is safe for concurrent use: the profile caches are guarded
+// by a mutex and concurrent requests for the same uncached profile are
+// deduplicated, so exactly one profiling simulation runs per (kernel,
+// occupancy) point no matter how many workers need it. Cached results
+// are shared and must be treated as immutable by callers. The only
+// exception is ProfileCycles, which must be set before the Session is
+// shared across goroutines.
 type Session struct {
 	cfg    Config
 	cycles int64
 	// ProfileCycles is the length of isolated profiling runs (defaults
-	// to the evaluation length).
+	// to the evaluation length). Set it before sharing the Session.
 	ProfileCycles int64
 
+	mu       sync.Mutex                  // guards the three caches below
 	isoIPC   map[string]map[int]float64  // name -> TBs -> IPC
 	isoRun   map[string]*stats.RunResult // name -> full-occupancy isolated result
 	isoSerie map[string]*stats.RunResult // name -> isolated result with series
+
+	// In-flight deduplication for cache misses (one simulation per key
+	// even under concurrent demand).
+	runFlight   flight.Group[string, *stats.RunResult]
+	serieFlight flight.Group[string, *stats.RunResult]
+	ipcFlight   flight.Group[string, float64]
 }
 
 // NewSession creates a session simulating cycles cycles per run.
@@ -47,28 +64,54 @@ func (s *Session) Cycles() int64 { return s.cycles }
 // RunIsolated simulates kernel d alone at full occupancy and caches the
 // result.
 func (s *Session) RunIsolated(d Kernel) (*RunResult, error) {
-	if r, ok := s.isoRun[d.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.isoRun[d.Name]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), false)
-	if err != nil {
-		return nil, err
-	}
-	s.isoRun[d.Name] = r
-	return r, nil
+	return s.runFlight.Do(d.Name, func() (*stats.RunResult, error) {
+		s.mu.Lock()
+		r, ok := s.isoRun[d.Name]
+		s.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+		r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), false)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.isoRun[d.Name] = r
+		s.mu.Unlock()
+		return r, nil
+	})
 }
 
 // RunIsolatedSeries is RunIsolated with 1 K-cycle series collection.
 func (s *Session) RunIsolatedSeries(d Kernel) (*RunResult, error) {
-	if r, ok := s.isoSerie[d.Name]; ok {
+	s.mu.Lock()
+	r, ok := s.isoSerie[d.Name]
+	s.mu.Unlock()
+	if ok {
 		return r, nil
 	}
-	r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), true)
-	if err != nil {
-		return nil, err
-	}
-	s.isoSerie[d.Name] = r
-	return r, nil
+	return s.serieFlight.Do(d.Name, func() (*stats.RunResult, error) {
+		s.mu.Lock()
+		r, ok := s.isoSerie[d.Name]
+		s.mu.Unlock()
+		if ok {
+			return r, nil
+		}
+		r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), true)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.isoSerie[d.Name] = r
+		s.mu.Unlock()
+		return r, nil
+	})
 }
 
 func (s *Session) runIsolatedTBs(d Kernel, tbs int, series bool) (*RunResult, error) {
@@ -86,30 +129,50 @@ func (s *Session) runIsolatedTBs(d Kernel, tbs int, series bool) (*RunResult, er
 
 // IsolatedIPC returns kernel d's isolated IPC at n TBs per SM (cached).
 func (s *Session) IsolatedIPC(d Kernel, n int) (float64, error) {
-	m, ok := s.isoIPC[d.Name]
-	if !ok {
-		m = make(map[int]float64)
-		s.isoIPC[d.Name] = m
-	}
-	if v, ok := m[n]; ok {
+	if v, ok := s.lookupIPC(d.Name, n); ok {
 		return v, nil
 	}
-	max := d.MaxTBsPerSM(&s.cfg)
-	if n == max {
-		// Share the cached full-occupancy run.
-		r, err := s.RunIsolated(d)
-		if err != nil {
-			return 0, err
+	key := fmt.Sprintf("%s|%d", d.Name, n)
+	return s.ipcFlight.Do(key, func() (float64, error) {
+		if v, ok := s.lookupIPC(d.Name, n); ok {
+			return v, nil
 		}
-		m[n] = r.Kernels[0].IPC
-		return m[n], nil
+		var v float64
+		if n == d.MaxTBsPerSM(&s.cfg) {
+			// Share the cached full-occupancy run.
+			r, err := s.RunIsolated(d)
+			if err != nil {
+				return 0, err
+			}
+			v = r.Kernels[0].IPC
+		} else {
+			r, err := s.runIsolatedTBs(d, n, false)
+			if err != nil {
+				return 0, err
+			}
+			v = r.Kernels[0].IPC
+		}
+		s.storeIPC(d.Name, n, v)
+		return v, nil
+	})
+}
+
+func (s *Session) lookupIPC(name string, n int) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.isoIPC[name][n]
+	return v, ok
+}
+
+func (s *Session) storeIPC(name string, n int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.isoIPC[name]
+	if !ok {
+		m = make(map[int]float64)
+		s.isoIPC[name] = m
 	}
-	r, err := s.runIsolatedTBs(d, n, false)
-	if err != nil {
-		return 0, err
-	}
-	m[n] = r.Kernels[0].IPC
-	return m[n], nil
+	m[n] = v
 }
 
 // Curve returns kernel d's scalability curve: isolated IPC with 1..max
@@ -183,6 +246,9 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("gcke: empty workload")
 	}
+	if err := scheme.Validate(len(ds)); err != nil {
+		return nil, err
+	}
 	descs := toPtrs(ds)
 
 	// Normalization base and profile-driven inputs.
@@ -226,9 +292,7 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 		hooks = append(hooks, dynws.Hook)
 	}
 	if scheme.TBThrottle {
-		if row == nil {
-			return nil, fmt.Errorf("gcke: TBThrottle needs a uniform TB partition (not spatial/dynamic)")
-		}
+		// Validate already rejected the partitionless kinds.
 		hooks = append(hooks, core.NewTBThrottle(row).Hook)
 	}
 
@@ -252,9 +316,6 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 	// Limiter.
 	switch scheme.Limiting {
 	case LimitStatic:
-		if len(scheme.StaticLimits) != len(ds) {
-			return nil, fmt.Errorf("gcke: StaticLimits must have one entry per kernel")
-		}
 		lims := append([]int(nil), scheme.StaticLimits...)
 		opts.Policies.Limiter = func(smID, n int) sm.Limiter { return core.NewSMIL(lims) }
 	case LimitDMIL:
@@ -289,9 +350,6 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 
 	// Cache bypassing (Section 4.5 interplay study).
 	if scheme.BypassL1 != nil {
-		if len(scheme.BypassL1) != len(ds) {
-			return nil, fmt.Errorf("gcke: BypassL1 must have one entry per kernel")
-		}
 		opts.BypassL1 = append([]bool(nil), scheme.BypassL1...)
 	}
 
