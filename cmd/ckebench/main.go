@@ -17,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,7 +28,9 @@ import (
 	"time"
 
 	gcke "repro"
+	"repro/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/journal"
 )
 
 func main() {
@@ -40,7 +44,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. fig12,fig13)")
 	paperScale := flag.Bool("paper-scale", false, "16 SMs and 2M cycles (slow)")
 	parallel := flag.Int("parallel", 0, "worker pool size per experiment (0 = GOMAXPROCS, 1 = serial)")
+	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
+	journalPath := flag.String("journal", "", "checkpoint journal path; completed points are replayed on restart (empty = disabled)")
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := gcke.ScaledConfig(*sms)
 	if *paperScale {
@@ -54,6 +62,19 @@ func main() {
 
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
+	session.Check = *check
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		var err error
+		jnl, err = journal.Open(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jnl.Close()
+		if n := jnl.Len(); n > 0 {
+			fmt.Printf("journal %s: resuming past %d checkpointed point(s)\n", *journalPath, n)
+		}
+	}
 	profilePath := filepath.Join(*outDir, "profiles.json")
 	if err := session.LoadProfiles(profilePath); err == nil {
 		fmt.Println("loaded cached isolated profiles from", profilePath)
@@ -91,8 +112,15 @@ func main() {
 		defer f.Close()
 		h := harness.New(session, f)
 		h.Parallel = *parallel
+		h.Ctx = ctx
+		h.Journal = jnl
 		start := time.Now()
 		if err := fn(h); err != nil {
+			if errors.Is(err, context.Canceled) {
+				// SIGINT/SIGTERM: completed points are already journaled;
+				// rerunning with the same -journal resumes from here.
+				log.Fatalf("%s: interrupted; checkpointed progress preserved", name)
+			}
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("%-12s -> %s (%.1fs)\n", name, path, time.Since(start).Seconds())

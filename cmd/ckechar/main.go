@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/kern"
 	"repro/internal/runner"
 )
@@ -38,10 +39,14 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	verbose := flag.Bool("v", false, "print reservation-failure breakdown")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := gcke.ScaledConfig(*sms)
 	s := gcke.NewSession(cfg, *cycles)
+	s.Check = *check
 
 	names := gcke.BenchmarkNames()
 	if *benchList != "" {
@@ -49,16 +54,16 @@ func main() {
 	}
 
 	rows := make([]charRow, len(names))
-	err := runner.MapErr(*parallel, len(names), func(i int) error {
+	err := runner.MapErr(ctx, *parallel, len(names), func(i int) error {
 		d, err := gcke.Benchmark(strings.TrimSpace(names[i]))
 		if err != nil {
 			return err
 		}
-		r, err := s.RunIsolated(d)
+		r, err := s.RunIsolatedCtx(ctx, d)
 		if err != nil {
 			return fmt.Errorf("%s: %w", d.Name, err)
 		}
-		cls, err := s.Classify(d)
+		cls, err := s.ClassifyCtx(ctx, d)
 		if err != nil {
 			return err
 		}

@@ -32,7 +32,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g.RunCycles(opts)
+	if err := g.RunCycles(opts); err != nil {
+		log.Fatal(err)
+	}
 	r := g.Result()
 	fmt.Print(r)
 	g.DumpMemState()

@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/runner"
 )
 
@@ -21,11 +23,18 @@ func main() {
 	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
 	pair := flag.String("pair", "bp,sv", "kernel pair")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	rb := cli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := rb.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := gcke.ScaledConfig(*sms)
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
+	session.Check = rb.Check
 
 	names := strings.Split(*pair, ",")
 	var ds []gcke.Kernel
@@ -52,17 +61,35 @@ func main() {
 	for i, sc := range schemes {
 		jobs[i] = runner.Job{Session: session, Kernels: ds, Scheme: sc}
 	}
-	results := runner.New(*parallel).Run(jobs)
-	if err := runner.FirstErr(results); err != nil {
+	jnl, err := rb.OpenJournal(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
+	r := runner.New(*parallel)
+	rb.Apply(r, jnl)
+	results := r.Run(ctx, jobs)
+	failed, err := rb.Failures(log.Printf, results)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-16s %6s %6s %8s %7s %7s %7s %8s\n",
 		"scheme", "WS", "ANTT", "fairness", "stall", "k0-spd", "k1-spd", "theoWS")
 	for i, sc := range schemes {
+		if results[i].Err != nil {
+			fmt.Printf("%-16s %6s\n", sc.Name(), "fail")
+			continue
+		}
 		res := results[i].Res
 		sp := res.SpeedupsOf()
 		fmt.Printf("%-16s %6.3f %6.3f %8.3f %7.3f %7.3f %7.3f %8.3f\n",
 			sc.Name(), res.WeightedSpeedup(), res.ANTT(), res.Fairness(),
 			res.LSUStallFrac(), sp[0], sp[1], res.TheoreticalWS)
+	}
+	if failed > 0 {
+		log.Printf("%d scheme(s) failed", failed)
+		os.Exit(1)
 	}
 }

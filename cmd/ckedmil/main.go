@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -29,27 +31,47 @@ func main() {
 	quota := flag.String("quota", "", "comma-separated TB quota (default max/2); applies to every workload")
 	cycles := flag.Int64("cycles", 300_000, "cycles")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	rb := cli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := rb.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	specs := strings.Split(*pairs, ";")
 	bufs := make([]bytes.Buffer, len(specs))
-	err := runner.MapErr(*parallel, len(specs), func(i int) error {
-		return trace(&bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles)
+	errs := make([]error, len(specs))
+	runner.Map(ctx, *parallel, len(specs), func(i int) {
+		errs[i] = trace(ctx, &bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles, rb.Check)
 	})
+	failed := 0
 	for i, spec := range specs {
+		if errs[i] == nil && ctx.Err() != nil && bufs[i].Len() == 0 {
+			errs[i] = ctx.Err() // never dispatched before cancellation
+		}
 		if len(specs) > 1 {
 			fmt.Printf("=== %s ===\n", strings.TrimSpace(spec))
 		}
 		os.Stdout.Write(bufs[i].Bytes())
+		if errs[i] != nil {
+			failed++
+			if rb.Skip() {
+				log.Printf("workload %q: %v", strings.TrimSpace(spec), errs[i])
+				continue
+			}
+			log.Fatalf("workload %q: %v", strings.TrimSpace(spec), errs[i])
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
+	if failed > 0 {
+		log.Printf("%d workload(s) failed", failed)
+		os.Exit(1)
 	}
 }
 
 // trace runs one workload with per-kernel DMILs and writes the
 // limit/inflight timeline plus the final result to w.
-func trace(w io.Writer, pairSpec, quotaSpec string, cycles int64) error {
+func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles int64, check bool) error {
 	cfg := config.Scaled(4)
 	var descs []*kern.Desc
 	for _, n := range strings.Split(pairSpec, ",") {
@@ -102,13 +124,17 @@ func trace(w io.Writer, pairSpec, quotaSpec string, cycles int64) error {
 			}
 		},
 		HookInterval: 1000,
+		Interrupt:    func() bool { return ctx.Err() != nil },
+		Check:        gpu.CheckConfig{Enabled: check},
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "quota=%v\n", row)
-	g.RunCycles(opts)
+	if err := g.RunCycles(opts); err != nil {
+		return err
+	}
 	fmt.Fprint(w, g.Result())
 	fmt.Fprintf(w, "stall=%.3f\n", g.Result().LSUStallFrac())
 	return nil

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	gcke "repro"
+	"repro/internal/cli"
 )
 
 func parseScheme(s string, nKernels int) (gcke.Scheme, error) {
@@ -76,11 +77,15 @@ func main() {
 	sms := flag.Int("sms", 4, "number of SMs")
 	cycles := flag.Int64("cycles", 300_000, "evaluation cycles")
 	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
+	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
 	flag.Parse()
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := gcke.ScaledConfig(*sms)
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
+	session.Check = *check
 
 	var wl []gcke.Kernel
 	for _, n := range strings.Split(*kernels, ",") {
@@ -95,7 +100,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := session.RunWorkload(wl, scheme)
+	res, err := session.RunWorkloadCtx(ctx, wl, scheme)
 	if err != nil {
 		log.Fatal(err)
 	}

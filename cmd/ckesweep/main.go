@@ -8,10 +8,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/runner"
 )
 
@@ -23,11 +25,18 @@ func main() {
 	cycles := flag.Int64("cycles", 150_000, "cycles per point")
 	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	rb := cli.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := rb.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	cfg := gcke.ScaledConfig(*sms)
 	s := gcke.NewSession(cfg, *cycles)
 	s.ProfileCycles = 60_000
+	s.Check = rb.Check
 
 	var ds []gcke.Kernel
 	for _, n := range strings.Split(*pair, ",") {
@@ -57,8 +66,18 @@ func main() {
 			})
 		}
 	}
-	results := runner.New(*parallel).Run(jobs)
-	if err := runner.FirstErr(results); err != nil {
+	jnl, err := rb.OpenJournal(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jnl != nil {
+		defer jnl.Close()
+	}
+	r := runner.New(*parallel)
+	rb.Apply(r, jnl)
+	results := r.Run(ctx, jobs)
+	failed, err := rb.Failures(log.Printf, results)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -78,7 +97,12 @@ func main() {
 	for i, l0 := range lims {
 		fmt.Printf("%6s", name(l0))
 		for j, l1 := range lims {
-			ws := results[i*len(lims)+j].Res.WeightedSpeedup()
+			res := results[i*len(lims)+j]
+			if res.Err != nil {
+				fmt.Printf(" %6s", "fail")
+				continue
+			}
+			ws := res.Res.WeightedSpeedup()
 			if ws > bestWS {
 				bestWS, bestI, bestJ = ws, l0, l1
 			}
@@ -86,7 +110,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("best: (%s,%s) WS=%.3f\n", name(bestI), name(bestJ), bestWS)
+	if bestWS >= 0 {
+		fmt.Printf("best: (%s,%s) WS=%.3f\n", name(bestI), name(bestJ), bestWS)
+	}
+	if failed > 0 {
+		log.Printf("%d point(s) failed", failed)
+		os.Exit(1)
+	}
 }
 
 // parseGrid parses the comma-separated limit list, rejecting anything

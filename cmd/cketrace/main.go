@@ -54,7 +54,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g.RunCycles(opts)
+	if err := g.RunCycles(opts); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("workload %s on 1 SM, %d cycles, TB partition %v\n",
 		*kernels, *cycles, quota)

@@ -1,0 +1,110 @@
+// Package cli holds the sweep-robustness plumbing every driver shares:
+// the -check/-on-error/-journal/-timeout flag set, the SIGINT/SIGTERM
+// cancellation context, and uniform failed-point reporting. Drivers stay
+// thin; the behaviour (drain-and-checkpoint on interrupt, skip-or-abort
+// on per-point failure) is identical across commands.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/runner"
+)
+
+// Robustness bundles the hardening options shared by the sweep drivers.
+type Robustness struct {
+	// Check enables the simulator's per-cycle invariant watchdog.
+	Check bool
+	// OnError is the failed-point policy: "abort" stops at the first
+	// error (submission order); "skip" reports every failed point and
+	// keeps the rest of the grid.
+	OnError string
+	// JournalPath, when non-empty, checkpoints completed points to a
+	// crash-safe journal; on restart, journaled points are replayed
+	// instead of re-simulated.
+	JournalPath string
+	// Timeout bounds each job's wall-clock time (0 = none).
+	Timeout time.Duration
+}
+
+// AddFlags registers the shared -check, -on-error, -journal and -timeout
+// flags on fs (use flag.CommandLine from a driver's main).
+func AddFlags(fs *flag.FlagSet) *Robustness {
+	r := &Robustness{}
+	fs.BoolVar(&r.Check, "check", false,
+		"enable the per-cycle simulator invariant watchdog")
+	fs.StringVar(&r.OnError, "on-error", "abort",
+		"failed-point policy: abort (stop at first error) or skip (report failures, keep the rest)")
+	fs.StringVar(&r.JournalPath, "journal", "",
+		"checkpoint journal path; completed points are replayed on restart (empty = disabled)")
+	fs.DurationVar(&r.Timeout, "timeout", 0,
+		"per-job wall-clock timeout, e.g. 90s or 10m (0 = none)")
+	return r
+}
+
+// Validate rejects unknown option values before any simulation starts.
+func (r *Robustness) Validate() error {
+	if r.OnError != "abort" && r.OnError != "skip" {
+		return fmt.Errorf("-on-error=%q: want abort or skip", r.OnError)
+	}
+	return nil
+}
+
+// Skip reports whether failed points should be skipped rather than
+// aborting the run.
+func (r *Robustness) Skip() bool { return r.OnError == "skip" }
+
+// OpenJournal opens the checkpoint journal when one was requested and
+// reports how much prior progress it holds. Returns (nil, nil) when
+// journaling is disabled.
+func (r *Robustness) OpenJournal(logf func(format string, args ...any)) (*journal.Journal, error) {
+	if r.JournalPath == "" {
+		return nil, nil
+	}
+	j, err := journal.Open(r.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	if n := j.Len(); n > 0 && logf != nil {
+		logf("journal %s: resuming past %d checkpointed point(s)", r.JournalPath, n)
+	}
+	return j, nil
+}
+
+// Apply configures a runner with the per-job timeout and journal.
+func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal) {
+	run.Timeout = r.Timeout
+	run.Journal = j
+}
+
+// Failures applies the failed-point policy to a finished grid. Under
+// "abort" it returns the first error in submission order; under "skip"
+// it logs every failure with its job attribution and returns the count.
+func (r *Robustness) Failures(logf func(format string, args ...any), results []runner.Result) (int, error) {
+	if !r.Skip() {
+		return 0, runner.FirstErr(results)
+	}
+	n := 0
+	for i, res := range results {
+		if res.Err != nil {
+			n++
+			logf("point %d (%s): %v", i, res.Key, res.Err)
+		}
+	}
+	return n, nil
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. On
+// cancellation, in-flight simulations stop at the next interrupt poll,
+// journaled progress is preserved, and a second signal kills the process
+// immediately (standard signal.NotifyContext behaviour).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

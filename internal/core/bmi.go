@@ -7,7 +7,11 @@
 
 package core
 
-import "repro/internal/sm"
+import (
+	"fmt"
+
+	"repro/internal/sm"
+)
 
 // RBMI issues memory instructions from concurrent kernels in a loose
 // round-robin manner: the kernel after the last issuer has priority, but
@@ -144,6 +148,24 @@ func (q *QBMI) refresh() {
 	for i := range q.quota {
 		q.quota[i] += l / q.rpm[i]
 	}
+}
+
+// CheckInvariant asserts the quota conservation rule the refresh logic
+// must maintain: quotas never go negative, and under the paper's refresh
+// policy (a new LCM set is added the moment any kernel's quota reaches
+// zero) every kernel holds at least one unit after each issue — a quota
+// stuck at zero means the refresh never fired and that kernel is
+// silently starved of the memory pipeline.
+func (q *QBMI) CheckInvariant() error {
+	for k, v := range q.quota {
+		if v < 0 {
+			return fmt.Errorf("QBMI quota of kernel %d is negative (%d)", k, v)
+		}
+		if v == 0 && !q.RefreshAllZero {
+			return fmt.Errorf("QBMI quota of kernel %d stuck at zero without refresh", k)
+		}
+	}
+	return nil
 }
 
 // Quota exposes the current quota of kernel k (for tests and tracing).

@@ -72,6 +72,17 @@ func (s *SMIL) OnRsFail(kernel int)               {}
 func (s *SMIL) NoteInflight(kernel, inflight int) {}
 func (s *SMIL) Tick(cycle int64)                  {}
 
+// StaticLimit exposes kernel k's static cap (Unlimited = none). Only
+// SMIL implements it: the invariant watchdog's cap rule applies to caps
+// that never move during a run, while dynamic limiters (DMIL) may
+// legitimately lower their limit below the current in-flight count.
+func (s *SMIL) StaticLimit(k int) int {
+	if k >= len(s.limits) {
+		return Unlimited
+	}
+	return s.limits[k]
+}
+
 var _ sm.Limiter = (*SMIL)(nil)
 
 // MILG hardware parameters (Section 4.4): counter widths bound the

@@ -55,6 +55,12 @@ type Options struct {
 	// profiling schemes re-partition through it).
 	Hook         func(g *GPU, cycle int64)
 	HookInterval int64
+	// Interrupt, if non-nil, is polled every 1024 cycles; when it
+	// reports true, RunCycles stops early and returns ErrInterrupted
+	// (cancellation and per-job timeouts thread through here).
+	Interrupt func() bool
+	// Check enables the per-cycle invariant watchdog (see watchdog.go).
+	Check CheckConfig
 }
 
 type l2Response struct {
@@ -162,18 +168,35 @@ func Run(cfg config.Config, descs []*kern.Desc, opts *Options) (*stats.RunResult
 	if err != nil {
 		return nil, err
 	}
-	g.RunCycles(opts)
+	if err := g.RunCycles(opts); err != nil {
+		return nil, err
+	}
 	return g.Result(), nil
 }
 
-// RunCycles advances the machine by opts.Cycles cycles.
-func (g *GPU) RunCycles(opts *Options) {
+// RunCycles advances the machine by opts.Cycles cycles. It returns nil
+// on completion, ErrInterrupted (wrapped with the cycle reached) when
+// opts.Interrupt reports cancellation, or a *sm.InvariantError when the
+// watchdog (opts.Check) detects a conservation violation.
+func (g *GPU) RunCycles(opts *Options) error {
 	ucpNext := int64(0)
 	if opts.UCP.Enabled && opts.UCP.Interval <= 0 {
 		opts.UCP.Interval = 50 * 1024
 	}
+	var wd *watchdog
+	if opts.Check.Enabled {
+		wd = newWatchdog(opts.Check, g.cycle)
+	}
 	for c := int64(0); c < opts.Cycles; c++ {
+		if opts.Interrupt != nil && g.cycle%interruptInterval == 0 && opts.Interrupt() {
+			return fmt.Errorf("%w at cycle %d of %d", ErrInterrupted, g.cycle, opts.Cycles)
+		}
 		g.Step()
+		if wd != nil {
+			if err := wd.check(g); err != nil {
+				return err
+			}
+		}
 		if opts.UCP.Enabled && g.cycle >= ucpNext {
 			g.repartitionL1(opts.UCP.MinWays)
 			ucpNext = g.cycle + opts.UCP.Interval
@@ -182,6 +205,7 @@ func (g *GPU) RunCycles(opts *Options) {
 			opts.Hook(g, g.cycle)
 		}
 	}
+	return nil
 }
 
 // Step advances the machine by one cycle.

@@ -1,0 +1,157 @@
+package gpu_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/sm"
+)
+
+func watchdogWorkload(t *testing.T) (config.Config, []*kern.Desc, *gpu.Options) {
+	t.Helper()
+	cfg := config.Scaled(1)
+	bp, err := kern.ByName("bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := kern.ByName("sv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs := []*kern.Desc{&bp, &sv}
+	opts := &gpu.Options{
+		Cycles: 20_000,
+		Quota:  gpu.UniformQuota(cfg.NumSMs, core.EvenQuota(&cfg, descs)),
+	}
+	return cfg, descs, opts
+}
+
+// TestWatchdogCleanOnHealthyRuns guards against false positives: the
+// checker must stay silent across the mechanism configurations the
+// paper evaluates.
+func TestWatchdogCleanOnHealthyRuns(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		setup func(o *gpu.Options, n int)
+	}{
+		{"baseline", func(o *gpu.Options, n int) {}},
+		{"qbmi", func(o *gpu.Options, n int) {
+			o.Policies.MemPolicy = func(smID, nk int) sm.MemIssuePolicy { return core.NewQBMI(nk, nil) }
+		}},
+		{"dmil", func(o *gpu.Options, n int) {
+			o.Policies.Limiter = func(smID, nk int) sm.Limiter { return core.NewDMIL(nk) }
+		}},
+		{"smil", func(o *gpu.Options, n int) {
+			o.Policies.Limiter = func(smID, nk int) sm.Limiter { return core.NewSMIL([]int{4, 8}) }
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, descs, opts := watchdogWorkload(t)
+			tc.setup(opts, len(descs))
+			opts.Check = gpu.CheckConfig{Enabled: true}
+			res, err := gpu.Run(cfg, descs, opts)
+			if err != nil {
+				t.Fatalf("healthy run flagged: %v", err)
+			}
+			if res.Kernels[0].Instrs == 0 {
+				t.Fatal("no progress; nothing exercised")
+			}
+		})
+	}
+}
+
+// blockedGate admits no instruction from any kernel: with thread blocks
+// resident and the gate shut, the machine makes no progress — the
+// watchdog's deadlock rule must fire.
+type blockedGate struct{}
+
+func (blockedGate) CanIssue(kernel int) bool { return false }
+func (blockedGate) OnIssue(kernel int)       {}
+func (blockedGate) Tick(cycle int64)         {}
+
+func TestWatchdogDetectsNoProgress(t *testing.T) {
+	cfg, descs, opts := watchdogWorkload(t)
+	opts.Policies.Gate = func(smID, n int) sm.IssueGate { return blockedGate{} }
+	opts.Check = gpu.CheckConfig{Enabled: true, ProgressWindow: 2_000}
+	_, err := gpu.Run(cfg, descs, opts)
+	var ie *sm.InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("deadlocked machine not detected: err=%v", err)
+	}
+	if ie.Rule != "no-progress" {
+		t.Fatalf("rule = %q, want no-progress", ie.Rule)
+	}
+	if ie.Cycle < 2_000 || ie.Cycle > 4_000 {
+		t.Fatalf("violation cycle %d outside expected window", ie.Cycle)
+	}
+}
+
+// corruptPolicy reports an internal invariant violation after a fixed
+// number of issues — the injection seam for testing the reporting path.
+type corruptPolicy struct{ issues, failAfter int }
+
+func (p *corruptPolicy) Pick(kernels []int) int   { return 0 }
+func (p *corruptPolicy) OnIssue(kernel, reqs int) { p.issues++ }
+func (p *corruptPolicy) CheckInvariant() error {
+	if p.issues >= p.failAfter {
+		return fmt.Errorf("injected: quota conservation broken after %d issues", p.issues)
+	}
+	return nil
+}
+
+func TestWatchdogSurfacesInjectedPolicyViolation(t *testing.T) {
+	cfg, descs, opts := watchdogWorkload(t)
+	opts.Policies.MemPolicy = func(smID, n int) sm.MemIssuePolicy {
+		return &corruptPolicy{failAfter: 50}
+	}
+	opts.Check = gpu.CheckConfig{Enabled: true}
+	_, err := gpu.Run(cfg, descs, opts)
+	var ie *sm.InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("injected violation not surfaced: err=%v", err)
+	}
+	if ie.Rule != "mem-policy" || ie.SM < 0 {
+		t.Fatalf("violation context wrong: %+v", ie)
+	}
+}
+
+func TestRunCyclesInterrupt(t *testing.T) {
+	cfg, descs, opts := watchdogWorkload(t)
+	opts.Cycles = 1_000_000
+	stop := false
+	cycles := 0
+	opts.Interrupt = func() bool { cycles++; return stop }
+	g, err := gpu.New(cfg, descs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few polls pass, then trip the interrupt via the hook.
+	opts.Hook = func(gg *gpu.GPU, cycle int64) {
+		if cycle >= 10_000 {
+			stop = true
+		}
+	}
+	opts.HookInterval = 1_000
+	err = g.RunCycles(opts)
+	if !errors.Is(err, gpu.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if g.Cycle() < 10_000 || g.Cycle() > 12_000 {
+		t.Fatalf("interrupted at cycle %d, want shortly after 10k", g.Cycle())
+	}
+	// A non-interrupted run completes and returns nil.
+	opts2 := &gpu.Options{Cycles: 5_000, Quota: opts.Quota,
+		Interrupt: func() bool { return false }}
+	g2, err := gpu.New(cfg, descs, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.RunCycles(opts2); err != nil {
+		t.Fatalf("uninterrupted run errored: %v", err)
+	}
+}

@@ -27,16 +27,16 @@ func (h *Harness) Table2() ([]Table2Row, error) {
 	cfg := h.S.Config()
 	names := kern.Names()
 	rows := make([]Table2Row, len(names))
-	err := runner.MapErr(h.Parallel, len(names), func(i int) error {
+	err := runner.MapErr(h.ctx(), h.Parallel, len(names), func(i int) error {
 		d, err := gckeBenchmark(names[i])
 		if err != nil {
 			return err
 		}
-		r, err := h.S.RunIsolated(d)
+		r, err := h.S.RunIsolatedCtx(h.ctx(), d)
 		if err != nil {
 			return err
 		}
-		cls, err := h.S.Classify(d)
+		cls, err := h.S.ClassifyCtx(h.ctx(), d)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	gcke "repro"
 	"repro/internal/flight"
+	"repro/internal/journal"
 	"repro/internal/kern"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -109,6 +111,16 @@ type Harness struct {
 	// Parallel bounds the worker pool used for experiment grids
 	// (0 = GOMAXPROCS, 1 = strictly serial).
 	Parallel int
+	// Ctx, when non-nil, threads cancellation and deadlines into every
+	// simulation the harness starts (nil means context.Background()).
+	// Set it before the first Run.
+	Ctx context.Context
+	// Journal, when non-nil, checkpoints every completed workload run
+	// keyed by its deterministic job fingerprint: on restart, journaled
+	// points are replayed instead of re-simulated, and because the
+	// engine is deterministic the re-rendered tables are byte-identical
+	// to an uninterrupted run. Set it before the first Run.
+	Journal *journal.Journal
 
 	mu     sync.Mutex
 	cache  map[string]*gcke.WorkloadResult
@@ -122,6 +134,13 @@ func New(s *gcke.Session, out io.Writer) *Harness {
 
 func (h *Harness) printf(format string, args ...any) {
 	fmt.Fprintf(h.Out, format, args...)
+}
+
+func (h *Harness) ctx() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
 }
 
 // kernels resolves a workload's descriptors.
@@ -158,9 +177,33 @@ func (h *Harness) Run(w Workload, scheme gcke.Scheme) (*gcke.WorkloadResult, err
 		if err != nil {
 			return nil, err
 		}
-		r, err = h.S.RunWorkload(ds, scheme)
+		// Checkpoint fingerprint: the same identity the runner journals
+		// under, so sweeps and harness figures share one journal.
+		var ckpt string
+		if h.Journal != nil {
+			job := runner.Job{Session: h.S, Kernels: ds, Scheme: scheme}
+			ckpt, err = job.Key()
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", w.Label(), scheme.Name(), err)
+			}
+			var res gcke.WorkloadResult
+			if ok, err := h.Journal.Lookup(ckpt, &res); err != nil {
+				return nil, fmt.Errorf("%s under %s: reading journal: %w", w.Label(), scheme.Name(), err)
+			} else if ok {
+				h.mu.Lock()
+				h.cache[key] = &res
+				h.mu.Unlock()
+				return &res, nil
+			}
+		}
+		r, err = h.S.RunWorkloadCtx(h.ctx(), ds, scheme)
 		if err != nil {
 			return nil, fmt.Errorf("%s under %s: %w", w.Label(), scheme.Name(), err)
+		}
+		if h.Journal != nil {
+			if err := h.Journal.Append(ckpt, r); err != nil {
+				return nil, fmt.Errorf("%s under %s: checkpointing: %w", w.Label(), scheme.Name(), err)
+			}
 		}
 		h.mu.Lock()
 		h.cache[key] = r
@@ -177,7 +220,7 @@ func (h *Harness) RunAll(workloads []Workload, schemes []gcke.Scheme) ([][]*gcke
 	for i := range results {
 		results[i] = make([]*gcke.WorkloadResult, len(schemes))
 	}
-	err := runner.MapErr(h.Parallel, len(workloads)*len(schemes), func(k int) error {
+	err := runner.MapErr(h.ctx(), h.Parallel, len(workloads)*len(schemes), func(k int) error {
 		i, j := k/len(schemes), k%len(schemes)
 		r, err := h.Run(workloads[i], schemes[j])
 		if err != nil {

@@ -2,10 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	gcke "repro"
+	"repro/internal/journal"
 )
 
 func tinyHarness(t *testing.T) (*Harness, *bytes.Buffer) {
@@ -196,26 +198,61 @@ func TestFigure12And13And14(t *testing.T) {
 
 // TestParallelOutputByteIdentical pins the runner contract at the table
 // level: a figure rendered from a parallel grid must be byte-identical
-// to the strictly serial render.
+// to the strictly serial render — and a render interrupted partway and
+// resumed from its checkpoint journal in a "new process" must be
+// byte-identical too.
 func TestParallelOutputByteIdentical(t *testing.T) {
-	render := func(parallel int) string {
+	render := func(parallel int, jnl *journal.Journal, figs ...func(h *Harness) error) string {
 		s := gcke.NewSession(gcke.ScaledConfig(2), 15_000)
 		s.ProfileCycles = 10_000
 		var buf bytes.Buffer
 		h := New(s, &buf)
 		h.Parallel = parallel
-		if err := h.Figure12(tinyPairs()); err != nil {
-			t.Fatal(err)
-		}
-		if err := h.Figure9("bp", "sv", []int{4, 16, 0}); err != nil {
-			t.Fatal(err)
+		h.Journal = jnl
+		for _, fig := range figs {
+			if err := fig(h); err != nil {
+				t.Fatal(err)
+			}
 		}
 		return buf.String()
 	}
-	serial := render(1)
-	parallel := render(8)
+	fig12 := func(h *Harness) error { return h.Figure12(tinyPairs()) }
+	fig9 := func(h *Harness) error { return h.Figure9("bp", "sv", []int{4, 16, 0}) }
+
+	serial := render(1, nil, fig12, fig9)
+	parallel := render(8, nil, fig12, fig9)
 	if serial != parallel {
 		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+
+	// "Interrupted" sweep: only Figure 12 completes before the process
+	// dies. The resumed render — fresh session and harness, same journal
+	// file — must replay the checkpointed points and produce the exact
+	// bytes of the uninterrupted run.
+	path := filepath.Join(t.TempDir(), "bench.journal")
+	j1, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render(8, j1, fig12)
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() == 0 {
+		t.Fatal("interrupted render checkpointed nothing")
+	}
+	before := j2.Len()
+	resumed := render(8, j2, fig12, fig9)
+	if resumed != serial {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", serial, resumed)
+	}
+	if j2.Len() <= before {
+		t.Fatal("resumed render checkpointed no new points")
 	}
 }
 

@@ -1,0 +1,157 @@
+// Package journal is the checkpoint/resume layer of the sweep pipeline:
+// an append-only JSONL file mapping deterministic job keys to completed
+// results. Drivers append every finished grid point as it completes and,
+// after a crash or SIGINT, reopen the journal and skip the points it
+// already holds — the engine is deterministic, so a replayed result is
+// byte-identical to re-simulating it.
+//
+// Crash safety comes from the format, not from coordination: each entry
+// is one self-contained JSON line, appended and fsynced. A process
+// killed mid-write leaves at most one truncated final line, which Open
+// discards. When the same key appears twice (a point re-run under a
+// newer journal generation), the later entry wins.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// entry is one journal line.
+type entry struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// Journal is an append-only key -> JSON value store backed by one JSONL
+// file. It is safe for concurrent use by the worker pool.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]json.RawMessage
+	loaded  int // entries recovered by Open (before any Append)
+}
+
+// Open loads the journal at path (creating it if absent) and positions
+// it for appending. A truncated or corrupt trailing line — the footprint
+// of a crash mid-append — is dropped; everything before it is recovered.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, entries: make(map[string]json.RawMessage)}
+	valid := int64(0) // byte offset of the end of the last parseable line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			// A line that does not parse marks the crash point; nothing
+			// after it can be trusted (appends are strictly ordered).
+			break
+		}
+		j.entries[e.Key] = append(json.RawMessage(nil), e.Val...)
+		valid += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && len(j.entries) == 0 {
+		f.Close()
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	// Drop the torn tail so the next append starts on a clean boundary.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.loaded = len(j.entries)
+	return j, nil
+}
+
+// Path returns the backing file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of distinct keys currently journaled.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Recovered returns how many entries Open found on disk (the resume
+// set), as opposed to entries appended by this process.
+func (j *Journal) Recovered() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.loaded
+}
+
+// Lookup decodes the journaled value for key into v and reports whether
+// the key was present.
+func (j *Journal) Lookup(key string, v any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.entries[key]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return false, fmt.Errorf("journal: decoding entry %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Has reports whether key is journaled without decoding it.
+func (j *Journal) Has(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.entries[key]
+	return ok
+}
+
+// Append records v under key: one JSON line, flushed and fsynced before
+// returning so a subsequent crash cannot lose the point.
+func (j *Journal) Append(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encoding value for %s: %w", key, err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(entry{Key: key, Val: raw}); err != nil {
+		return fmt.Errorf("journal: encoding entry %s: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: %s is closed", j.path)
+	}
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s: %w", j.path, err)
+	}
+	j.entries[key] = raw
+	return nil
+}
+
+// Close releases the backing file. Lookups keep working; appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,158 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type point struct {
+	WS    float64
+	Cells []int
+}
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.jsonl")
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 || j.Recovered() != 0 {
+		t.Fatalf("fresh journal not empty: len=%d recovered=%d", j.Len(), j.Recovered())
+	}
+	want := point{WS: 1.375, Cells: []int{2, 4, 8}}
+	if err := j.Append("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("k2", point{WS: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 || j2.Recovered() != 2 {
+		t.Fatalf("reopened journal: len=%d recovered=%d, want 2/2", j2.Len(), j2.Recovered())
+	}
+	var got point
+	ok, err := j2.Lookup("k1", &got)
+	if err != nil || !ok {
+		t.Fatalf("lookup k1: ok=%v err=%v", ok, err)
+	}
+	if got.WS != want.WS || len(got.Cells) != 3 || got.Cells[2] != 8 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	if j2.Has("k3") {
+		t.Fatal("phantom key")
+	}
+	// Floats must roundtrip exactly: replayed tables are byte-identical
+	// only if the decoded value is the same float64.
+	if err := j2.Append("f", 0.1+0.2); err != nil {
+		t.Fatal(err)
+	}
+	var f float64
+	if ok, _ := j2.Lookup("f", &f); !ok || f != 0.1+0.2 {
+		t.Fatalf("float not exact: %v", f)
+	}
+}
+
+func TestAppendExtendsRatherThanTruncates(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	j.Append("a", 1)
+	j.Close()
+
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("b", 2)
+	j.Close()
+
+	j, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("len = %d after two sessions, want 2", j.Len())
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	j.Append("a", 10)
+	j.Append("b", 20)
+	j.Close()
+
+	// Simulate a crash mid-append: chop the file mid-way through the
+	// second line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 1 || !j2.Has("a") || j2.Has("b") {
+		t.Fatalf("torn tail handling: len=%d hasA=%v hasB=%v", j2.Len(), j2.Has("a"), j2.Has("b"))
+	}
+	// The journal must stay appendable on a clean line boundary.
+	if err := j2.Append("c", 30); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var v int
+	if ok, _ := j3.Lookup("c", &v); !ok || v != 30 {
+		t.Fatalf("post-recovery append lost: ok=%v v=%d", ok, v)
+	}
+}
+
+func TestLatestEntryWins(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Open(path)
+	j.Append("k", 1)
+	j.Append("k", 2)
+	j.Close()
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var v int
+	if ok, _ := j2.Lookup("k", &v); !ok || v != 2 {
+		t.Fatalf("latest entry must win, got %d", v)
+	}
+	if j2.Len() != 1 {
+		t.Fatalf("duplicate key counted twice: %d", j2.Len())
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := Open(tmpJournal(t))
+	j.Close()
+	if err := j.Append("k", 1); err == nil {
+		t.Fatal("append after close must fail")
+	}
+}

@@ -8,15 +8,27 @@
 // and the Session profile caches deduplicate concurrent profiling
 // demand, so running through the pool never changes any result — it only
 // changes how many points are in flight at once.
+//
+// The pool is also the robustness boundary for sweeps: cancellation and
+// per-job deadlines thread through a context, a panicking job is
+// recovered into that one job's error instead of killing the process,
+// and an attached journal checkpoints each completed point so an
+// interrupted sweep resumes without recomputing.
 package runner
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	gcke "repro"
+	"repro/internal/journal"
 )
 
 // Job is one simulation point: a workload run under a scheme against an
@@ -37,15 +49,76 @@ type Job struct {
 	Scheme  gcke.Scheme
 }
 
+// Key returns the job's deterministic fingerprint: a hash over the full
+// machine description (config, run lengths), the kernel descriptors and
+// the scheme. Two jobs that would produce the same simulation result
+// have the same key, across process restarts — it is the checkpoint
+// journal's index.
+func (j *Job) Key() (string, error) {
+	fp := struct {
+		Config        gcke.Config
+		Cycles        int64
+		ProfileCycles int64
+		Kernels       []gcke.Kernel
+		Scheme        gcke.Scheme
+	}{j.Config, j.Cycles, j.ProfileCycles, j.Kernels, j.Scheme}
+	if s := j.Session; s != nil {
+		fp.Config = s.Config()
+		fp.Cycles = s.Cycles()
+		fp.ProfileCycles = s.ProfileCycles
+	} else if fp.ProfileCycles <= 0 {
+		fp.ProfileCycles = fp.Cycles
+	}
+	raw, err := json.Marshal(fp)
+	if err != nil {
+		return "", fmt.Errorf("runner: fingerprinting job: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return "j1-" + hex.EncodeToString(sum[:]), nil
+}
+
 // Result pairs a job's outcome with any simulation error.
 type Result struct {
+	// Key is the job's deterministic fingerprint (set even on failure,
+	// empty only if fingerprinting itself failed).
+	Key string
 	Res *gcke.WorkloadResult
 	Err error
+	// Replayed reports that Res was restored from the checkpoint journal
+	// rather than simulated in this process.
+	Replayed bool
+}
+
+// PanicError is a worker panic recovered into one job's error: the rest
+// of the grid keeps running, and the failed point stays attributed.
+type PanicError struct {
+	Index int    // submission index of the job (or Map index)
+	Key   string // job fingerprint, when known
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	id := fmt.Sprintf("job %d", e.Index)
+	if e.Key != "" {
+		id += " (" + e.Key + ")"
+	}
+	return fmt.Sprintf("runner: %s panicked: %v\n%s", id, e.Value, e.Stack)
 }
 
 // Runner executes jobs on a bounded worker pool.
 type Runner struct {
 	workers int
+
+	// Timeout, when positive, bounds each job's wall-clock time; an
+	// expired job fails with an error wrapping context.DeadlineExceeded
+	// while the rest of the grid continues.
+	Timeout time.Duration
+	// Journal, when non-nil, checkpoints completed jobs: Run restores
+	// journaled results instead of re-simulating and appends each newly
+	// completed result. Failures are never journaled, so a fixed build
+	// re-runs them on resume.
+	Journal *journal.Journal
 
 	mu       sync.Mutex
 	sessions map[string]*gcke.Session // derived sessions, deduplicated
@@ -66,15 +139,13 @@ func (r *Runner) Workers() int { return r.workers }
 // Session returns the runner's shared session for a machine description,
 // creating it on first use. Jobs with equal (Config, Cycles,
 // ProfileCycles) share one session and therefore one profile cache.
-func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) *gcke.Session {
+func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) (*gcke.Session, error) {
 	if profileCycles <= 0 {
 		profileCycles = cycles
 	}
 	raw, err := json.Marshal(cfg)
 	if err != nil {
-		// Config is a plain data struct; Marshal cannot fail in practice
-		// (profiles.go asserts serializability at init).
-		panic(fmt.Sprintf("runner: encoding config: %v", err))
+		return nil, fmt.Errorf("runner: encoding config: %w", err)
 	}
 	key := fmt.Sprintf("c%d|p%d|%s", cycles, profileCycles, raw)
 	r.mu.Lock()
@@ -85,24 +156,87 @@ func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) *gcke.Ses
 		s.ProfileCycles = profileCycles
 		r.sessions[key] = s
 	}
-	return s
+	return s, nil
 }
+
+// testJobHook, when set (by tests only), runs at the start of every job
+// inside the worker's recovery scope — the injection seam for panic-
+// isolation tests, since real jobs are pure data with no panic path.
+var testJobHook func(i int, j *Job)
 
 // Run executes all jobs on the pool and returns one Result per job, in
 // submission order. Every job runs to completion even if earlier jobs
-// fail; callers decide whether a single error aborts their experiment.
-func (r *Runner) Run(jobs []Job) []Result {
+// fail — a panic or an invariant violation in one point surfaces as that
+// point's error; callers decide whether a single error aborts their
+// experiment. Cancelling ctx stops feeding the pool, interrupts jobs in
+// flight, and marks never-started jobs with the context's error.
+func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(jobs))
-	Map(r.workers, len(jobs), func(i int) {
-		j := jobs[i]
-		s := j.Session
-		if s == nil {
-			s = r.Session(j.Config, j.Cycles, j.ProfileCycles)
-		}
-		res, err := s.RunWorkload(j.Kernels, j.Scheme)
-		results[i] = Result{Res: res, Err: err}
+	Map(ctx, r.workers, len(jobs), func(i int) {
+		r.runJob(ctx, i, &jobs[i], &results[i])
 	})
+	// Jobs the cancelled feeder never dispatched: attribute the
+	// cancellation rather than returning an inexplicable zero Result.
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Res == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+	}
 	return results
+}
+
+func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
+	key, err := j.Key()
+	out.Key = key
+	if err != nil {
+		out.Err = err
+		return
+	}
+	if r.Journal != nil {
+		var res gcke.WorkloadResult
+		if ok, err := r.Journal.Lookup(key, &res); err != nil {
+			out.Err = fmt.Errorf("runner: reading journal entry %s: %w", key, err)
+			return
+		} else if ok {
+			out.Res, out.Replayed = &res, true
+			return
+		}
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			out.Res = nil
+			out.Err = &PanicError{Index: i, Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if testJobHook != nil {
+		testJobHook(i, j)
+	}
+	s := j.Session
+	if s == nil {
+		s, err = r.Session(j.Config, j.Cycles, j.ProfileCycles)
+		if err != nil {
+			out.Err = err
+			return
+		}
+	}
+	jobCtx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	res, err := s.RunWorkloadCtx(jobCtx, j.Kernels, j.Scheme)
+	if err == nil && r.Journal != nil {
+		if jerr := r.Journal.Append(key, res); jerr != nil {
+			err = fmt.Errorf("runner: checkpointing %s: %w", key, jerr)
+		}
+	}
+	out.Res, out.Err = res, err
 }
 
 // FirstErr returns the first error in results by submission order, so
@@ -116,12 +250,31 @@ func FirstErr(results []Result) error {
 	return nil
 }
 
-// Map runs fn(0..n-1) on at most workers goroutines and waits for all of
-// them. It is the ordered fan-out primitive underneath Run, exposed for
-// call sites whose unit of work is not a full workload simulation (e.g.
-// per-benchmark characterization). fn must write its output to slot i of
-// a caller-owned slice rather than share state across indices.
-func Map(workers, n int, fn func(i int)) {
+// Errs returns every failed result by submission order (for skip-mode
+// drivers that report all failures instead of aborting on the first).
+func Errs(results []Result) []error {
+	var out []error
+	for _, res := range results {
+		if res.Err != nil {
+			out = append(out, res.Err)
+		}
+	}
+	return out
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and waits for all
+// started work. It is the ordered fan-out primitive underneath Run,
+// exposed for call sites whose unit of work is not a full workload
+// simulation (e.g. per-benchmark characterization). fn must write its
+// output to slot i of a caller-owned slice rather than share state
+// across indices. When ctx is cancelled, no further indices are
+// dispatched (in-flight fn calls run to completion); fn itself observes
+// cancellation through whatever it passed the ctx into. Map does not
+// recover fn panics — use MapErr for isolation.
+func Map(ctx context.Context, workers, n int, fn func(i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -130,6 +283,9 @@ func Map(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -145,18 +301,46 @@ func Map(workers, n int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 }
 
 // MapErr is Map for fallible work: it collects one error per index and
-// returns the first failure in index order (nil if none failed).
-func MapErr(workers, n int, fn func(i int) error) error {
+// returns the first failure in index order (nil if none failed). A
+// panicking fn call fails only its own index (as a *PanicError); indices
+// never dispatched because ctx was cancelled fail with the context's
+// error.
+func MapErr(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	errs := make([]error, n)
-	Map(workers, n, func(i int) { errs[i] = fn(i) })
+	ran := make([]bool, n)
+	Map(ctx, workers, n, func(i int) {
+		ran[i] = true
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(i)
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !ran[i] && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,11 +1,17 @@
 package runner
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	gcke "repro"
+	"repro/internal/journal"
 )
 
 func testJobs(t *testing.T, s *gcke.Session) []Job {
@@ -39,9 +45,10 @@ func testSession(t *testing.T) *gcke.Session {
 // contract: the same (workload, scheme) grid run twice serially and once
 // through the parallel pool must produce identical RunResult stats.
 func TestParallelMatchesSerial(t *testing.T) {
-	serial1 := New(1).Run(testJobs(t, testSession(t)))
-	serial2 := New(1).Run(testJobs(t, testSession(t)))
-	parallel := New(8).Run(testJobs(t, testSession(t)))
+	ctx := context.Background()
+	serial1 := New(1).Run(ctx, testJobs(t, testSession(t)))
+	serial2 := New(1).Run(ctx, testJobs(t, testSession(t)))
+	parallel := New(8).Run(ctx, testJobs(t, testSession(t)))
 
 	if err := FirstErr(serial1); err != nil {
 		t.Fatal(err)
@@ -66,6 +73,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 		if a.WeightedSpeedup() != c.WeightedSpeedup() {
 			t.Fatalf("job %d: WS %v vs %v", i, a.WeightedSpeedup(), c.WeightedSpeedup())
 		}
+		if serial1[i].Key == "" || serial1[i].Key != parallel[i].Key {
+			t.Fatalf("job %d: fingerprints differ: %q vs %q", i, serial1[i].Key, parallel[i].Key)
+		}
 	}
 }
 
@@ -81,7 +91,7 @@ func TestSharedSessionUnderConcurrency(t *testing.T) {
 		jobs[i] = Job{Session: s, Kernels: []gcke.Kernel{bp, sv},
 			Scheme: gcke.Scheme{Partition: gcke.PartitionEven}}
 	}
-	results := New(6).Run(jobs)
+	results := New(6).Run(context.Background(), jobs)
 	if err := FirstErr(results); err != nil {
 		t.Fatal(err)
 	}
@@ -107,21 +117,27 @@ func TestSharedSessionUnderConcurrency(t *testing.T) {
 func TestRunnerDerivesAndDedupsSessions(t *testing.T) {
 	r := New(4)
 	cfg := gcke.ScaledConfig(2)
-	s1 := r.Session(cfg, 15_000, 10_000)
-	s2 := r.Session(cfg, 15_000, 10_000)
+	s1, err := r.Session(cfg, 15_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Session(cfg, 15_000, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s1 != s2 {
 		t.Fatal("equal machine descriptions must share a session")
 	}
-	if s3 := r.Session(cfg, 20_000, 10_000); s3 == s1 {
+	if s3, _ := r.Session(cfg, 20_000, 10_000); s3 == s1 {
 		t.Fatal("different cycles must not share a session")
 	}
-	if s4 := r.Session(gcke.ScaledConfig(4), 15_000, 10_000); s4 == s1 {
+	if s4, _ := r.Session(gcke.ScaledConfig(4), 15_000, 10_000); s4 == s1 {
 		t.Fatal("different configs must not share a session")
 	}
 
 	bp, _ := gcke.Benchmark("bp")
 	sv, _ := gcke.Benchmark("sv")
-	res := r.Run([]Job{{
+	res := r.Run(context.Background(), []Job{{
 		Config: cfg, Cycles: 15_000, ProfileCycles: 10_000,
 		Kernels: []gcke.Kernel{bp, sv},
 		Scheme:  gcke.Scheme{Partition: gcke.PartitionEven},
@@ -144,7 +160,7 @@ func TestRunReportsErrorsInOrder(t *testing.T) {
 		Scheme: gcke.Scheme{Partition: gcke.PartitionEven}}
 	bad := Job{Session: s, Kernels: []gcke.Kernel{bp, sv},
 		Scheme: gcke.Scheme{Partition: gcke.PartitionWarpedSlicer, Limiting: gcke.LimitStatic}}
-	results := New(4).Run([]Job{good, bad, good})
+	results := New(4).Run(context.Background(), []Job{good, bad, good})
 	if results[0].Err != nil || results[2].Err != nil {
 		t.Fatalf("good jobs failed: %v %v", results[0].Err, results[2].Err)
 	}
@@ -154,24 +170,197 @@ func TestRunReportsErrorsInOrder(t *testing.T) {
 	if err := FirstErr(results); err != results[1].Err {
 		t.Fatalf("FirstErr = %v, want job 1's error", err)
 	}
+	if got := Errs(results); len(got) != 1 || got[0] != results[1].Err {
+		t.Fatalf("Errs = %v, want exactly job 1's error", got)
+	}
+}
+
+// TestRunRecoversPanicIntoJobError pins panic isolation: one poisoned
+// job must fail with an attributed *PanicError while every other point
+// in the grid completes normally.
+func TestRunRecoversPanicIntoJobError(t *testing.T) {
+	testJobHook = func(i int, j *Job) {
+		if i == 2 {
+			panic("injected worker fault")
+		}
+	}
+	defer func() { testJobHook = nil }()
+
+	jobs := testJobs(t, testSession(t))
+	results := New(4).Run(context.Background(), jobs)
+	for i, res := range results {
+		if i == 2 {
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("job %d poisoned by job 2's panic: %v", i, res.Err)
+		}
+		if res.Res == nil {
+			t.Fatalf("job %d missing result", i)
+		}
+	}
+	var pe *PanicError
+	if !errors.As(results[2].Err, &pe) {
+		t.Fatalf("job 2 error is %T, want *PanicError", results[2].Err)
+	}
+	if pe.Index != 2 || pe.Key == "" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not attributed: index=%d key=%q stack=%d bytes", pe.Index, pe.Key, len(pe.Stack))
+	}
+	if !strings.Contains(pe.Error(), "injected worker fault") {
+		t.Fatalf("panic value lost: %v", pe)
+	}
+}
+
+// TestRunHonorsCancellation: a cancelled context marks every
+// not-yet-finished job with the cancellation instead of running it.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		results := New(workers).Run(ctx, testJobs(t, testSession(t)))
+		for i, res := range results {
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("workers=%d job %d: err=%v, want context.Canceled", workers, i, res.Err)
+			}
+		}
+	}
+}
+
+// TestRunPerJobTimeout: with a tiny per-job deadline, long simulations
+// fail with context.DeadlineExceeded (wrapped over gpu.ErrInterrupted)
+// rather than hanging the sweep.
+func TestRunPerJobTimeout(t *testing.T) {
+	// A session big enough that the run cannot finish in a millisecond.
+	s := gcke.NewSession(gcke.ScaledConfig(2), 50_000_000)
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	r := New(2)
+	r.Timeout = time.Millisecond
+	results := r.Run(context.Background(), []Job{{
+		Session: s, Kernels: []gcke.Kernel{bp, sv},
+		Scheme: gcke.Scheme{Partition: gcke.PartitionEven},
+	}})
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", results[0].Err)
+	}
+}
+
+// TestRunJournalResume pins checkpoint/resume: a partially journaled
+// grid, resumed by a fresh runner and session against the same journal,
+// replays the finished points and produces results identical to an
+// uninterrupted run.
+func TestRunJournalResume(t *testing.T) {
+	jobs := testJobs(t, testSession(t))
+	golden := New(4).Run(context.Background(), testJobs(t, testSession(t)))
+	if err := FirstErr(golden); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j1, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Interrupted" first attempt: only the first three points finish.
+	r1 := New(4)
+	r1.Journal = j1
+	if err := FirstErr(r1.Run(context.Background(), jobs[:3])); err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume in a "new process": fresh runner, fresh session, same file.
+	j2, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := New(4)
+	r2.Journal = j2
+	resumed := r2.Run(context.Background(), testJobs(t, testSession(t)))
+	if err := FirstErr(resumed); err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden {
+		if want := i < 3; resumed[i].Replayed != want {
+			t.Fatalf("job %d: Replayed=%v, want %v", i, resumed[i].Replayed, want)
+		}
+		a, b := golden[i].Res, resumed[i].Res
+		if !reflect.DeepEqual(*a.RunResult, *b.RunResult) {
+			t.Fatalf("job %d: resumed stats differ from uninterrupted run", i)
+		}
+		if !reflect.DeepEqual(a.IsolatedIPC, b.IsolatedIPC) ||
+			!reflect.DeepEqual(a.TBPartition, b.TBPartition) ||
+			a.TheoreticalWS != b.TheoreticalWS {
+			t.Fatalf("job %d: resumed metadata differs", i)
+		}
+		if a.WeightedSpeedup() != b.WeightedSpeedup() {
+			t.Fatalf("job %d: WS %v vs %v", i, a.WeightedSpeedup(), b.WeightedSpeedup())
+		}
+	}
+	// Every point is journaled now; a third pass simulates nothing.
+	if j2.Len() != len(jobs) {
+		t.Fatalf("journal holds %d entries, want %d", j2.Len(), len(jobs))
+	}
+}
+
+// TestJobKeyStability: the fingerprint must not depend on whether the
+// machine is described inline or via a derived session, and must change
+// when any dimension of the point changes.
+func TestJobKeyStability(t *testing.T) {
+	cfg := gcke.ScaledConfig(2)
+	bp, _ := gcke.Benchmark("bp")
+	sv, _ := gcke.Benchmark("sv")
+	inline := Job{Config: cfg, Cycles: 15_000, ProfileCycles: 10_000,
+		Kernels: []gcke.Kernel{bp, sv}, Scheme: gcke.Scheme{Partition: gcke.PartitionEven}}
+	s := gcke.NewSession(cfg, 15_000)
+	s.ProfileCycles = 10_000
+	viaSession := inline
+	viaSession.Session = s
+
+	k1, err := inline.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := viaSession.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("same point fingerprints differently: %q vs %q", k1, k2)
+	}
+	other := inline
+	other.Scheme = gcke.Scheme{Partition: gcke.PartitionSMK}
+	if k3, _ := other.Key(); k3 == k1 {
+		t.Fatal("different schemes share a fingerprint")
+	}
+	longer := inline
+	longer.Cycles = 20_000
+	if k4, _ := longer.Key(); k4 == k1 {
+		t.Fatal("different run lengths share a fingerprint")
+	}
 }
 
 func TestMapCoversAllIndicesOnce(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{1, 3, 16} {
 		const n = 100
 		counts := make([]atomic.Int32, n)
-		Map(workers, n, func(i int) { counts[i].Add(1) })
+		Map(ctx, workers, n, func(i int) { counts[i].Add(1) })
 		for i := range counts {
 			if c := counts[i].Load(); c != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
 			}
 		}
 	}
-	Map(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+	Map(ctx, 4, 0, func(i int) { t.Fatal("fn called for n=0") })
 }
 
 func TestMapErrReturnsFirstByIndex(t *testing.T) {
-	err := MapErr(8, 10, func(i int) error {
+	ctx := context.Background()
+	err := MapErr(ctx, 8, 10, func(i int) error {
 		if i == 3 || i == 7 {
 			return errIndex(i)
 		}
@@ -180,8 +369,39 @@ func TestMapErrReturnsFirstByIndex(t *testing.T) {
 	if err != errIndex(3) {
 		t.Fatalf("err = %v, want index 3", err)
 	}
-	if err := MapErr(8, 10, func(i int) error { return nil }); err != nil {
+	if err := MapErr(ctx, 8, 10, func(i int) error { return nil }); err != nil {
 		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestMapErrRecoversPanic: a panicking index fails alone, as a
+// *PanicError, and the other indices still run.
+func TestMapErrRecoversPanic(t *testing.T) {
+	var ran atomic.Int32
+	err := MapErr(context.Background(), 4, 10, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		ran.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 5 {
+		t.Fatalf("err = %v, want *PanicError at index 5", err)
+	}
+	if ran.Load() != 9 {
+		t.Fatalf("%d indices ran, want 9", ran.Load())
+	}
+}
+
+// TestMapErrCancellation: indices never dispatched under a cancelled
+// context report the context error, not silent success.
+func TestMapErrCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := MapErr(ctx, 4, 10, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,121 @@
+package sm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/kern"
+)
+
+// fakeLimiter is a limiter with a reportable cap (0 = uncapped).
+type fakeLimiter struct{ caps []int }
+
+func (f *fakeLimiter) Allow(kernel, inflight int) bool {
+	return f.caps[kernel] == 0 || inflight < f.caps[kernel]
+}
+func (f *fakeLimiter) OnRequest(kernel int)              {}
+func (f *fakeLimiter) OnRsFail(kernel int)               {}
+func (f *fakeLimiter) NoteInflight(kernel, inflight int) {}
+func (f *fakeLimiter) Tick(cycle int64)                  {}
+func (f *fakeLimiter) StaticLimit(k int) int             { return f.caps[k] }
+
+// faultyPolicy is a MemIssuePolicy whose internal invariant fails.
+type faultyPolicy struct{ err error }
+
+func (p *faultyPolicy) Pick(kernels []int) int   { return 0 }
+func (p *faultyPolicy) OnIssue(kernel, reqs int) {}
+func (p *faultyPolicy) CheckInvariant() error    { return p.err }
+
+func TestCheckInvariantsCleanRun(t *testing.T) {
+	c := computeKernel()
+	m := memKernel()
+	s, _ := newSM(t, []*kern.Desc{&c, &m}, []int{2, 2})
+	pm := &perfectMem{lat: 40}
+	for cycle := int64(0); cycle < 5000; cycle++ {
+		s.Tick(cycle)
+		pm.tick(s, cycle)
+		if err := s.CheckInvariants(cycle); err != nil {
+			t.Fatalf("healthy SM reported violation at cycle %d: %v", cycle, err)
+		}
+	}
+	if s.IssuedTotal() == 0 {
+		t.Fatal("no instructions issued; test exercised nothing")
+	}
+	if !s.ResidentTBs() {
+		t.Fatal("expected resident thread blocks")
+	}
+}
+
+func TestCheckInvariantsDetectsInflightLeak(t *testing.T) {
+	c := computeKernel()
+	m := memKernel()
+	s, _ := newSM(t, []*kern.Desc{&c, &m}, []int{1, 1})
+	// Corrupt the accounting the way a double-completion bug would.
+	s.inflight[1] = -1
+	err := s.CheckInvariants(1234)
+	if err == nil {
+		t.Fatal("negative in-flight count not detected")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("error is %T, want *InvariantError", err)
+	}
+	if ie.Rule != "inflight-negative" || ie.SM != 0 || ie.Kernel != 1 || ie.Cycle != 1234 {
+		t.Fatalf("violation context wrong: %+v", ie)
+	}
+}
+
+func TestCheckInvariantsEnforcesMILCap(t *testing.T) {
+	c := computeKernel()
+	m := memKernel()
+	lim := &fakeLimiter{caps: []int{0, 8}}
+	cfg := tinyConfig()
+	descs := []*kern.Desc{&c, &m}
+	if err := Validate(&cfg, descs); err != nil {
+		t.Fatal(err)
+	}
+	s := New(0, &cfg, descs, []int{1, 1}, nil, lim, nil, 1)
+
+	// Within cap plus one instruction's coalescer slack: legal.
+	s.inflight[1] = 8 + coalescerSlack
+	if err := s.CheckInvariants(10); err != nil {
+		t.Fatalf("legal overshoot flagged: %v", err)
+	}
+	// Beyond the slack: the limiter is not being consulted — a leak.
+	s.inflight[1] = 8 + coalescerSlack + 1
+	err := s.CheckInvariants(11)
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Rule != "mil-cap" || ie.Kernel != 1 {
+		t.Fatalf("cap violation not attributed: %v", err)
+	}
+	// Kernel 0 is uncapped: any count is legal for the cap rule.
+	s.inflight[1] = 0
+	s.inflight[0] = 500
+	if err := s.CheckInvariants(12); err != nil {
+		t.Fatalf("uncapped kernel flagged: %v", err)
+	}
+}
+
+func TestCheckInvariantsSurfacesPolicyViolation(t *testing.T) {
+	c := computeKernel()
+	cfg := tinyConfig()
+	descs := []*kern.Desc{&c}
+	if err := Validate(&cfg, descs); err != nil {
+		t.Fatal(err)
+	}
+	pol := &faultyPolicy{}
+	s := New(0, &cfg, descs, []int{1}, pol, nil, nil, 1)
+	if err := s.CheckInvariants(0); err != nil {
+		t.Fatalf("clean policy flagged: %v", err)
+	}
+	pol.err = fmt.Errorf("quota stuck at zero")
+	err := s.CheckInvariants(77)
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Rule != "mem-policy" || ie.Cycle != 77 {
+		t.Fatalf("policy violation not surfaced: %v", err)
+	}
+	if ie.Detail != "quota stuck at zero" {
+		t.Fatalf("detail lost: %q", ie.Detail)
+	}
+}

@@ -1,6 +1,8 @@
 package gcke
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -30,6 +32,10 @@ type Session struct {
 	// ProfileCycles is the length of isolated profiling runs (defaults
 	// to the evaluation length). Set it before sharing the Session.
 	ProfileCycles int64
+	// Check enables the simulator's per-cycle invariant watchdog on
+	// every run started through this session (evaluation and profiling
+	// alike). Set it before sharing the Session.
+	Check bool
 
 	mu       sync.Mutex                  // guards the three caches below
 	isoIPC   map[string]map[int]float64  // name -> TBs -> IPC
@@ -61,9 +67,41 @@ func (s *Session) Config() Config { return s.cfg }
 // Cycles returns the evaluation run length.
 func (s *Session) Cycles() int64 { return s.cycles }
 
+// interruptOf adapts ctx cancellation to the simulator's polled
+// Interrupt hook (the cycle loop is synchronous, so cancellation is
+// polled every 1024 cycles rather than select-driven).
+func interruptOf(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// wrapInterrupt attaches the context's cancellation cause to a run
+// interruption so callers can test errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded on top of gpu.ErrInterrupted.
+func wrapInterrupt(ctx context.Context, err error) error {
+	if err == nil || ctx == nil {
+		return err
+	}
+	if cause := ctx.Err(); cause != nil && errors.Is(err, gpu.ErrInterrupted) {
+		return fmt.Errorf("%w (%w)", err, cause)
+	}
+	return err
+}
+
 // RunIsolated simulates kernel d alone at full occupancy and caches the
 // result.
 func (s *Session) RunIsolated(d Kernel) (*RunResult, error) {
+	return s.RunIsolatedCtx(context.Background(), d)
+}
+
+// RunIsolatedCtx is RunIsolated honouring ctx cancellation. Profile
+// simulations are deduplicated across goroutines, so a run started on
+// behalf of several waiters is interrupted only when the leader's ctx
+// is cancelled; interrupted results are never cached, so a later call
+// simply re-runs the profile.
+func (s *Session) RunIsolatedCtx(ctx context.Context, d Kernel) (*RunResult, error) {
 	s.mu.Lock()
 	r, ok := s.isoRun[d.Name]
 	s.mu.Unlock()
@@ -77,7 +115,7 @@ func (s *Session) RunIsolated(d Kernel) (*RunResult, error) {
 		if ok {
 			return r, nil
 		}
-		r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), false)
+		r, err := s.runIsolatedTBs(ctx, d, d.MaxTBsPerSM(&s.cfg), false)
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +128,11 @@ func (s *Session) RunIsolated(d Kernel) (*RunResult, error) {
 
 // RunIsolatedSeries is RunIsolated with 1 K-cycle series collection.
 func (s *Session) RunIsolatedSeries(d Kernel) (*RunResult, error) {
+	return s.RunIsolatedSeriesCtx(context.Background(), d)
+}
+
+// RunIsolatedSeriesCtx is RunIsolatedSeries honouring ctx cancellation.
+func (s *Session) RunIsolatedSeriesCtx(ctx context.Context, d Kernel) (*RunResult, error) {
 	s.mu.Lock()
 	r, ok := s.isoSerie[d.Name]
 	s.mu.Unlock()
@@ -103,7 +146,7 @@ func (s *Session) RunIsolatedSeries(d Kernel) (*RunResult, error) {
 		if ok {
 			return r, nil
 		}
-		r, err := s.runIsolatedTBs(d, d.MaxTBsPerSM(&s.cfg), true)
+		r, err := s.runIsolatedTBs(ctx, d, d.MaxTBsPerSM(&s.cfg), true)
 		if err != nil {
 			return nil, err
 		}
@@ -114,21 +157,29 @@ func (s *Session) RunIsolatedSeries(d Kernel) (*RunResult, error) {
 	})
 }
 
-func (s *Session) runIsolatedTBs(d Kernel, tbs int, series bool) (*RunResult, error) {
+func (s *Session) runIsolatedTBs(ctx context.Context, d Kernel, tbs int, series bool) (*RunResult, error) {
 	descs := []*kern.Desc{&d}
 	opts := &gpu.Options{
-		Cycles: s.ProfileCycles,
-		Quota:  gpu.UniformQuota(s.cfg.NumSMs, []int{tbs}),
-		Series: series,
+		Cycles:    s.ProfileCycles,
+		Quota:     gpu.UniformQuota(s.cfg.NumSMs, []int{tbs}),
+		Series:    series,
+		Interrupt: interruptOf(ctx),
+		Check:     gpu.CheckConfig{Enabled: s.Check},
 	}
 	if series {
 		opts.Cycles = s.cycles
 	}
-	return gpu.Run(s.cfg, descs, opts)
+	r, err := gpu.Run(s.cfg, descs, opts)
+	return r, wrapInterrupt(ctx, err)
 }
 
 // IsolatedIPC returns kernel d's isolated IPC at n TBs per SM (cached).
 func (s *Session) IsolatedIPC(d Kernel, n int) (float64, error) {
+	return s.IsolatedIPCCtx(context.Background(), d, n)
+}
+
+// IsolatedIPCCtx is IsolatedIPC honouring ctx cancellation.
+func (s *Session) IsolatedIPCCtx(ctx context.Context, d Kernel, n int) (float64, error) {
 	if v, ok := s.lookupIPC(d.Name, n); ok {
 		return v, nil
 	}
@@ -140,13 +191,13 @@ func (s *Session) IsolatedIPC(d Kernel, n int) (float64, error) {
 		var v float64
 		if n == d.MaxTBsPerSM(&s.cfg) {
 			// Share the cached full-occupancy run.
-			r, err := s.RunIsolated(d)
+			r, err := s.RunIsolatedCtx(ctx, d)
 			if err != nil {
 				return 0, err
 			}
 			v = r.Kernels[0].IPC
 		} else {
-			r, err := s.runIsolatedTBs(d, n, false)
+			r, err := s.runIsolatedTBs(ctx, d, n, false)
 			if err != nil {
 				return 0, err
 			}
@@ -178,10 +229,15 @@ func (s *Session) storeIPC(name string, n int, v float64) {
 // Curve returns kernel d's scalability curve: isolated IPC with 1..max
 // TBs per SM (Figure 3(a)).
 func (s *Session) Curve(d Kernel) ([]float64, error) {
+	return s.CurveCtx(context.Background(), d)
+}
+
+// CurveCtx is Curve honouring ctx cancellation.
+func (s *Session) CurveCtx(ctx context.Context, d Kernel) ([]float64, error) {
 	max := d.MaxTBsPerSM(&s.cfg)
 	out := make([]float64, max)
 	for n := 1; n <= max; n++ {
-		v, err := s.IsolatedIPC(d, n)
+		v, err := s.IsolatedIPCCtx(ctx, d, n)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +249,12 @@ func (s *Session) Curve(d Kernel) ([]float64, error) {
 // Classify returns the measured class of kernel d: memory-intensive if
 // its isolated LSU-stall fraction is at least 20% (the paper's rule).
 func (s *Session) Classify(d Kernel) (kern.Class, error) {
-	r, err := s.RunIsolated(d)
+	return s.ClassifyCtx(context.Background(), d)
+}
+
+// ClassifyCtx is Classify honouring ctx cancellation.
+func (s *Session) ClassifyCtx(ctx context.Context, d Kernel) (kern.Class, error) {
+	r, err := s.RunIsolatedCtx(ctx, d)
 	if err != nil {
 		return kern.Compute, err
 	}
@@ -207,12 +268,17 @@ func (s *Session) Classify(d Kernel) (kern.Class, error) {
 // workload, plus the theoretical Weighted Speedup at that point (only
 // meaningful for Warped-Slicer).
 func (s *Session) Partition(ds []Kernel, kind PartitionKind, manual []int) ([]int, float64, error) {
+	return s.PartitionCtx(context.Background(), ds, kind, manual)
+}
+
+// PartitionCtx is Partition honouring ctx cancellation.
+func (s *Session) PartitionCtx(ctx context.Context, ds []Kernel, kind PartitionKind, manual []int) ([]int, float64, error) {
 	descs := toPtrs(ds)
 	switch kind {
 	case PartitionWarpedSlicer:
 		curves := make([][]float64, len(ds))
 		for i := range ds {
-			c, err := s.Curve(ds[i])
+			c, err := s.CurveCtx(ctx, ds[i])
 			if err != nil {
 				return nil, 0, err
 			}
@@ -243,6 +309,14 @@ func wsSweetSpot(cfg *Config, descs []*kern.Desc, curves [][]float64) ([]int, fl
 
 // RunWorkload simulates the kernels concurrently under scheme.
 func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, error) {
+	return s.RunWorkloadCtx(context.Background(), ds, scheme)
+}
+
+// RunWorkloadCtx is RunWorkload honouring ctx: cancellation (or a
+// deadline) interrupts the evaluation run and any profiling runs it
+// triggers, returning an error wrapping both gpu.ErrInterrupted and the
+// context's cause.
+func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme) (*WorkloadResult, error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("gcke: empty workload")
 	}
@@ -254,7 +328,7 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 	// Normalization base and profile-driven inputs.
 	isolated := make([]float64, len(ds))
 	for i := range ds {
-		r, err := s.RunIsolated(ds[i])
+		r, err := s.RunIsolatedCtx(ctx, ds[i])
 		if err != nil {
 			return nil, err
 		}
@@ -275,7 +349,7 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 		quota = gpu.UniformQuota(s.cfg.NumSMs, core.EvenQuota(&s.cfg, descs))
 	default:
 		var err error
-		row, theoWS, err = s.Partition(ds, scheme.Partition, scheme.ManualTBs)
+		row, theoWS, err = s.PartitionCtx(ctx, ds, scheme.Partition, scheme.ManualTBs)
 		if err != nil {
 			return nil, err
 		}
@@ -283,9 +357,11 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 	}
 
 	opts := &gpu.Options{
-		Cycles: s.cycles,
-		Quota:  quota,
-		Series: scheme.Series,
+		Cycles:    s.cycles,
+		Quota:     quota,
+		Series:    scheme.Series,
+		Interrupt: interruptOf(ctx),
+		Check:     gpu.CheckConfig{Enabled: s.Check},
 	}
 	var hooks []func(*gpu.GPU, int64)
 	if dynws != nil {
@@ -364,7 +440,7 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 
 	res, err := gpu.Run(s.cfg, descs, opts)
 	if err != nil {
-		return nil, err
+		return nil, wrapInterrupt(ctx, err)
 	}
 	if dynws != nil {
 		row = dynws.Partition

@@ -1,0 +1,69 @@
+package gcke
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+)
+
+// TestRunWorkloadCtxCancellation: a cancelled context interrupts the
+// simulation and the error carries both the interruption and the cause.
+func TestRunWorkloadCtxCancellation(t *testing.T) {
+	s := testSession(t)
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.RunWorkloadCtx(ctx, []Kernel{bp, sv}, Scheme{Partition: PartitionEven})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if !errors.Is(err, gpu.ErrInterrupted) {
+		t.Fatalf("err = %v, want gpu.ErrInterrupted in chain", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+
+	// A cancelled profiling run must not poison the cache: rerunning
+	// without cancellation succeeds.
+	if _, err := s.RunWorkload([]Kernel{bp, sv}, Scheme{Partition: PartitionEven}); err != nil {
+		t.Fatalf("run after cancellation: %v", err)
+	}
+}
+
+// TestRunWorkloadCtxDeadline: a deadline surfaces as DeadlineExceeded.
+func TestRunWorkloadCtxDeadline(t *testing.T) {
+	s := NewSession(ScaledConfig(2), 100_000_000) // far too long for 1ms
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := s.RunWorkloadCtx(ctx, []Kernel{bp, sv}, Scheme{Partition: PartitionEven})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+}
+
+// TestSessionCheckCleanWorkload: the invariant watchdog stays silent on
+// a healthy run driven through the public API, including the paper's
+// managed schemes.
+func TestSessionCheckCleanWorkload(t *testing.T) {
+	s := testSession(t)
+	s.Check = true
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+	for _, sc := range []Scheme{
+		{Partition: PartitionEven},
+		{Partition: PartitionWarpedSlicer, MemIssue: MemIssueQBMI},
+		{Partition: PartitionWarpedSlicer, Limiting: LimitDMIL},
+	} {
+		if _, err := s.RunWorkloadCtx(context.Background(), []Kernel{bp, sv}, sc); err != nil {
+			t.Fatalf("%s: healthy run flagged: %v", sc.Name(), err)
+		}
+	}
+}
