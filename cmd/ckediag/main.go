@@ -89,7 +89,7 @@ func main() {
 			res.LSUStallFrac(), sp[0], sp[1], res.TheoreticalWS)
 	}
 	if failed > 0 {
-		log.Printf("%d scheme(s) failed", failed)
+		log.Print(cli.FailureSummary(results))
 		os.Exit(1)
 	}
 }

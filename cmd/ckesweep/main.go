@@ -114,7 +114,7 @@ func main() {
 		fmt.Printf("best: (%s,%s) WS=%.3f\n", name(bestI), name(bestJ), bestWS)
 	}
 	if failed > 0 {
-		log.Printf("%d point(s) failed", failed)
+		log.Print(cli.FailureSummary(results))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,251 @@
+// Package chaos is a deterministic fault injector for the service and
+// sweep pipelines: it forces worker panics, artificial hangs, journal
+// write errors and invariant-watchdog violations so every degradation
+// path (retry, deadline kill, circuit breaker, journal rollback) has a
+// failing-then-recovering test instead of an untested error branch.
+//
+// Determinism is the point. Whether a job is faulted, and how, is a pure
+// function of (seed, job fingerprint): the same seed replays the same
+// fault schedule across runs and across processes, so a chaos test that
+// fails is reproducible by its seed alone. Each selected key injects a
+// bounded number of faults (Config.Failures) and then behaves normally —
+// the "fails, then recovers" shape the resilience layer must survive.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sm"
+	"repro/internal/xrand"
+)
+
+// Kind names one injected fault class.
+type Kind string
+
+const (
+	// KindPanic makes the job's worker goroutine panic (exercises
+	// runner panic isolation and transient-error retry).
+	KindPanic Kind = "panic"
+	// KindHang blocks the job until its deadline context expires
+	// (exercises per-job deadline kill and retry).
+	KindHang Kind = "hang"
+	// KindJournal fails the journal write for the job's checkpoint
+	// (exercises journal append rollback and typed write errors).
+	KindJournal Kind = "journal"
+	// KindInvariant fails the job with a deterministic
+	// *sm.InvariantError (exercises the circuit breaker: retrying a
+	// deterministic violation is futile, so the service must shed).
+	KindInvariant Kind = "invariant"
+	// KindNone means the key was not selected for any fault.
+	KindNone Kind = "none"
+)
+
+// Config selects which fraction of job keys each fault class claims.
+// The probabilities partition [0,1): a key draws one uniform variate and
+// the first class whose cumulative range contains it wins, so the
+// classes are mutually exclusive per key. Probabilities summing past 1
+// are effectively truncated by that order.
+type Config struct {
+	Seed          uint64
+	PanicProb     float64
+	HangProb      float64
+	JournalProb   float64
+	InvariantProb float64
+	// Hang is how long a hang fault blocks before giving up and
+	// proceeding (it normally loses to the job deadline; the bound keeps
+	// an undeadlined dev run from blocking forever). 0 means 30s.
+	Hang time.Duration
+	// Failures is how many faults each selected key injects before it is
+	// allowed to succeed (<=0 means 1). The per-key budget is in-memory:
+	// a restarted process injects afresh.
+	Failures int
+}
+
+// Enabled reports whether any fault class has a non-zero probability.
+func (c Config) Enabled() bool {
+	return c.PanicProb > 0 || c.HangProb > 0 || c.JournalProb > 0 || c.InvariantProb > 0
+}
+
+// Injector injects faults per Config. It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	injected map[string]int // key -> faults already injected
+	counts   map[Kind]int   // faults injected so far, by kind
+}
+
+// New returns an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.Hang <= 0 {
+		cfg.Hang = 30 * time.Second
+	}
+	if cfg.Failures <= 0 {
+		cfg.Failures = 1
+	}
+	return &Injector{
+		cfg:      cfg,
+		injected: make(map[string]int),
+		counts:   make(map[Kind]int),
+	}
+}
+
+// Plan returns the fault class key is selected for — a pure function of
+// the injector's seed and the key, independent of call order.
+func (inj *Injector) Plan(key string) Kind {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	r := xrand.New(inj.cfg.Seed ^ h.Sum64()).Float64()
+	for _, c := range []struct {
+		p float64
+		k Kind
+	}{
+		{inj.cfg.PanicProb, KindPanic},
+		{inj.cfg.HangProb, KindHang},
+		{inj.cfg.JournalProb, KindJournal},
+		{inj.cfg.InvariantProb, KindInvariant},
+	} {
+		if r < c.p {
+			return c.k
+		}
+		r -= c.p
+	}
+	return KindNone
+}
+
+// spend consumes one unit of key's fault budget, reporting whether a
+// fault of kind should be injected now.
+func (inj *Injector) spend(key string, kind Kind) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.injected[key] >= inj.cfg.Failures {
+		return false
+	}
+	inj.injected[key]++
+	inj.counts[kind]++
+	return true
+}
+
+// Counts returns how many faults have been injected so far, by kind.
+func (inj *Injector) Counts() map[Kind]int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[Kind]int, len(inj.counts))
+	for k, v := range inj.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// JobFault is the runner.Runner.Fault seam: called inside the worker's
+// recovery scope before a job executes. Depending on the key's plan it
+// panics (recovered into a *runner.PanicError), blocks until ctx
+// expires (surfacing the deadline), returns a deterministic
+// *sm.InvariantError, or does nothing.
+func (inj *Injector) JobFault(ctx context.Context, index int, key string) error {
+	switch inj.Plan(key) {
+	case KindPanic:
+		if inj.spend(key, KindPanic) {
+			panic(fmt.Sprintf("chaos: injected panic for job %d (%s)", index, key))
+		}
+	case KindHang:
+		if inj.spend(key, KindHang) {
+			t := time.NewTimer(inj.cfg.Hang)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("chaos: injected hang for job %d (%s) interrupted: %w",
+					index, key, ctx.Err())
+			case <-t.C:
+				// Hang bound elapsed without a deadline; let the job run.
+			}
+		}
+	case KindInvariant:
+		if inj.spend(key, KindInvariant) {
+			return &sm.InvariantError{
+				Cycle: 0, SM: 0, Kernel: 0,
+				Rule:   "chaos-injected",
+				Detail: fmt.Sprintf("injected invariant violation for job %d (%s)", index, key),
+			}
+		}
+	}
+	return nil
+}
+
+// JournalFault is the journal.Journal.FaultHook seam: it fails the
+// write or sync step of an append for keys planned KindJournal.
+func (inj *Injector) JournalFault(op, key string) error {
+	if inj.Plan(key) != KindJournal {
+		return nil
+	}
+	if !inj.spend(key, KindJournal) {
+		return nil
+	}
+	return fmt.Errorf("chaos: injected journal %s error for %s", op, key)
+}
+
+// Parse decodes a -chaos flag spec: comma-separated key=value pairs with
+// keys panic, hang, journal, invariant (probabilities in [0,1]), seed
+// (uint64), failures (int) and hangdur (Go duration). Example:
+//
+//	panic=0.5,hang=0.2,seed=42,failures=1,hangdur=2s
+//
+// An empty spec yields a disabled Config.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("chaos: bad field %q: want key=value", field)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "panic", "hang", "journal", "invariant":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Config{}, fmt.Errorf("chaos: %s=%q: want a probability in [0,1]", k, v)
+			}
+			switch k {
+			case "panic":
+				cfg.PanicProb = p
+			case "hang":
+				cfg.HangProb = p
+			case "journal":
+				cfg.JournalProb = p
+			case "invariant":
+				cfg.InvariantProb = p
+			}
+		case "seed":
+			s, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("chaos: seed=%q: want a uint64", v)
+			}
+			cfg.Seed = s
+		case "failures":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return Config{}, fmt.Errorf("chaos: failures=%q: want a positive integer", v)
+			}
+			cfg.Failures = n
+		case "hangdur":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("chaos: hangdur=%q: want a positive duration", v)
+			}
+			cfg.Hang = d
+		default:
+			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, seed, failures or hangdur)", k)
+		}
+	}
+	return cfg, nil
+}

@@ -7,6 +7,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -85,20 +86,44 @@ func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal) {
 }
 
 // Failures applies the failed-point policy to a finished grid. Under
-// "abort" it returns the first error in submission order; under "skip"
-// it logs every failure with its job attribution and returns the count.
+// "abort" it returns the first error in submission order. Under "skip"
+// it logs every failure with its job attribution and transience class
+// (runner.IsTransient — a transient point may pass on rerun, a
+// permanent one will not) and returns the count; cancellation is the
+// exception: an interrupted run aborts even under "skip", because the
+// unfinished points did not fail, the user stopped the sweep.
 func (r *Robustness) Failures(logf func(format string, args ...any), results []runner.Result) (int, error) {
 	if !r.Skip() {
 		return 0, runner.FirstErr(results)
 	}
 	n := 0
 	for i, res := range results {
-		if res.Err != nil {
-			n++
-			logf("point %d (%s): %v", i, res.Key, res.Err)
+		if res.Err == nil {
+			continue
 		}
+		if errors.Is(res.Err, context.Canceled) {
+			return n, res.Err
+		}
+		n++
+		class := "permanent"
+		if runner.IsTransient(res.Err) {
+			class = "transient"
+		}
+		logf("point %d (%s): %s failure: %v", i, res.Key, class, res.Err)
 	}
 	return n, nil
+}
+
+// FailureSummary renders the one-line post-mortem a skip-mode driver
+// prints before its non-zero exit, so the failure is diagnosable from
+// logs without rerunning the sweep.
+func FailureSummary(results []runner.Result) string {
+	errs := runner.Errs(results)
+	if len(errs) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d points failed, first error: %v",
+		len(errs), len(results), runner.FirstErr(results))
 }
 
 // SignalContext returns a context cancelled on SIGINT or SIGTERM. On

@@ -27,12 +27,42 @@ type entry struct {
 	Val json.RawMessage `json:"val"`
 }
 
+// WriteError is a failed append: the value for Key never became durable
+// and was not recorded in the in-memory index — from the caller's view
+// the append did not happen. Op names the failed step ("write", "sync"
+// or "rollback"); Err is the underlying cause and is in the Unwrap
+// chain. A rollback failure additionally poisons the journal: the file
+// tail is untrusted, so every later append fails fast.
+type WriteError struct {
+	Path string
+	Key  string
+	Op   string
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("journal: %s of %s to %s failed: %v", e.Op, e.Key, e.Path, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
 // Journal is an append-only key -> JSON value store backed by one JSONL
 // file. It is safe for concurrent use by the worker pool.
 type Journal struct {
+	// FaultHook, when non-nil, is consulted before the write and sync
+	// steps of every append (ops "write" and "sync"); a returned error
+	// is treated as that step's disk error. It is the fault-injection
+	// seam (internal/chaos) for exercising the rollback path — set it
+	// before the journal is shared. A faulted "write" still leaves
+	// partial bytes in the file, as a torn real write would, so the
+	// rollback is tested against the worst case.
+	FaultHook func(op, key string) error
+
 	mu      sync.Mutex
 	path    string
 	f       *os.File
+	off     int64 // end of the last durable entry (rollback target)
+	broken  bool  // a rollback failed; the file tail is untrusted
 	entries map[string]json.RawMessage
 	loaded  int // entries recovered by Open (before any Append)
 }
@@ -73,6 +103,7 @@ func Open(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
+	j.off = valid
 	j.loaded = len(j.entries)
 	return j, nil
 }
@@ -119,7 +150,10 @@ func (j *Journal) Has(key string) bool {
 }
 
 // Append records v under key: one JSON line, flushed and fsynced before
-// returning so a subsequent crash cannot lose the point.
+// returning so a subsequent crash cannot lose the point. A failed append
+// is atomic from the caller's view: the key is not recorded, the file is
+// rolled back to the end of the last durable entry, and the failure
+// surfaces as a *WriteError.
 func (j *Journal) Append(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
@@ -134,14 +168,51 @@ func (j *Journal) Append(key string, v any) error {
 	if j.f == nil {
 		return fmt.Errorf("journal: %s is closed", j.path)
 	}
+	if j.broken {
+		return &WriteError{Path: j.path, Key: key, Op: "write",
+			Err: fmt.Errorf("journal poisoned by an earlier failed rollback")}
+	}
+	if j.FaultHook != nil {
+		if ferr := j.FaultHook("write", key); ferr != nil {
+			// Model the failure as a torn write: part of the entry
+			// reached the file before the error.
+			j.f.Write(buf.Bytes()[:len(buf.Bytes())/2])
+			return j.rollback(key, "write", ferr)
+		}
+	}
 	if _, err := j.f.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
+		return j.rollback(key, "write", err)
+	}
+	if j.FaultHook != nil {
+		if ferr := j.FaultHook("sync", key); ferr != nil {
+			return j.rollback(key, "sync", ferr)
+		}
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: syncing %s: %w", j.path, err)
+		return j.rollback(key, "sync", err)
 	}
 	j.entries[key] = raw
+	j.off += int64(buf.Len())
 	return nil
+}
+
+// rollback discards whatever a failed append left past the last durable
+// entry, restoring the file to its pre-append bytes, and wraps cause in
+// a *WriteError. If the rollback itself fails the journal is poisoned:
+// the on-disk tail can no longer be trusted, so later appends fail fast
+// (Open's torn-tail truncation still recovers the file on restart).
+func (j *Journal) rollback(key, op string, cause error) error {
+	if err := j.f.Truncate(j.off); err != nil {
+		j.broken = true
+		return &WriteError{Path: j.path, Key: key, Op: "rollback",
+			Err: fmt.Errorf("%w (truncate after failed %s: %v)", cause, op, err)}
+	}
+	if _, err := j.f.Seek(j.off, 0); err != nil {
+		j.broken = true
+		return &WriteError{Path: j.path, Key: key, Op: "rollback",
+			Err: fmt.Errorf("%w (seek after failed %s: %v)", cause, op, err)}
+	}
+	return &WriteError{Path: j.path, Key: key, Op: op, Err: cause}
 }
 
 // Close releases the backing file. Lookups keep working; appends fail.

@@ -119,6 +119,15 @@ type Runner struct {
 	// completed result. Failures are never journaled, so a fixed build
 	// re-runs them on resume.
 	Journal *journal.Journal
+	// Fault, when non-nil, runs inside the worker's recovery scope
+	// before each executed (non-replayed) job — the fault-injection seam
+	// (internal/chaos). A returned error fails the job; a panic is
+	// recovered like any worker panic; ctx carries the job's deadline.
+	Fault func(ctx context.Context, index int, key string) error
+	// Check enables the per-cycle invariant watchdog on sessions the
+	// runner derives (jobs with a nil Session). Set it before the first
+	// Run; explicit job sessions keep their own Check setting.
+	Check bool
 
 	mu       sync.Mutex
 	sessions map[string]*gcke.Session // derived sessions, deduplicated
@@ -154,6 +163,7 @@ func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) (*gcke.Se
 	if !ok {
 		s = gcke.NewSession(cfg, cycles)
 		s.ProfileCycles = profileCycles
+		s.Check = r.Check
 		r.sessions[key] = s
 	}
 	return s, nil
@@ -213,8 +223,20 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			out.Err = &PanicError{Index: i, Key: key, Value: v, Stack: debug.Stack()}
 		}
 	}()
+	jobCtx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
 	if testJobHook != nil {
 		testJobHook(i, j)
+	}
+	if r.Fault != nil {
+		if err := r.Fault(jobCtx, i, key); err != nil {
+			out.Err = err
+			return
+		}
 	}
 	s := j.Session
 	if s == nil {
@@ -223,12 +245,6 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			out.Err = err
 			return
 		}
-	}
-	jobCtx := ctx
-	if r.Timeout > 0 {
-		var cancel context.CancelFunc
-		jobCtx, cancel = context.WithTimeout(ctx, r.Timeout)
-		defer cancel()
 	}
 	res, err := s.RunWorkloadCtx(jobCtx, j.Kernels, j.Scheme)
 	if err == nil && r.Journal != nil {

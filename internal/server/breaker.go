@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-job-fingerprint circuit breaker for deterministic
+// failures. The engine is a pure function of the job, so a fingerprint
+// that tripped the invariant watchdog will trip it again — retrying
+// burns a worker slot to reproduce a known bug. After threshold
+// violations the fingerprint's circuit opens and submissions are shed
+// (429) without executing; after cooldown one probe is allowed through,
+// and a success closes the circuit (the fingerprint hashes only the
+// job, so a successful probe means the engine binary changed — e.g. a
+// redeploy fixed the violated invariant).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable in tests
+
+	mu     sync.Mutex
+	states map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int
+	open      bool
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		states:    make(map[string]*breakerState),
+	}
+}
+
+// allow reports whether key may execute now; when shed, the second
+// result is how long until the next probe is allowed.
+func (b *breaker) allow(key string) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil || !st.open {
+		return true, 0
+	}
+	if wait := st.openUntil.Sub(b.now()); wait > 0 {
+		return false, wait
+	}
+	// Cooldown elapsed: let one probe through, and push the next probe
+	// window out so concurrent submissions do not all probe at once.
+	st.openUntil = b.now().Add(b.cooldown)
+	return true, 0
+}
+
+// failure scores one invariant violation against key and reports
+// whether this call opened the circuit.
+func (b *breaker) failure(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	st.fails++
+	if st.fails < b.threshold {
+		return false
+	}
+	opened := !st.open
+	st.open = true
+	st.openUntil = b.now().Add(b.cooldown)
+	return opened
+}
+
+// success clears key's failure history and closes its circuit.
+func (b *breaker) success(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.states, key)
+}
+
+// openCount returns how many fingerprints currently have open circuits.
+func (b *breaker) openCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, st := range b.states {
+		if st.open {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,578 @@
+// Package server is the long-lived simulation service: an HTTP layer
+// that accepts simulation jobs (the runner.Job shape), executes them on
+// the concurrent runner pool, journals completed results, and degrades
+// gracefully instead of falling over.
+//
+// The degradation mechanisms, in the order a request meets them:
+//
+//   - Circuit breaker: a job fingerprint that keeps tripping the
+//     invariant watchdog is shed with 429 before execution — the engine
+//     is deterministic, so retrying a *sm.InvariantError is futile.
+//   - Bounded admission: at most Workers+QueueDepth requests are in the
+//     building; excess load is shed immediately with 429 + Retry-After
+//     rather than queued without bound.
+//   - Per-attempt deadlines: Runner.Timeout bounds each attempt's
+//     wall-clock; a request-level deadline (the job's "timeout" field)
+//     bounds the whole retry loop on top.
+//   - Retry with deterministic backoff: attempts that fail transiently
+//     (recovered panic, deadline expiry — runner.IsTransient) are
+//     retried up to MaxRetries times, spaced by internal/backoff delays
+//     jittered deterministically per job fingerprint.
+//   - Drain: once draining starts, new work is refused (503, /readyz
+//     red) while in-flight jobs run to completion and the journal is
+//     flushed — SIGTERM never abandons a half-simulated job.
+//
+// Every mechanism is exercised end-to-end by the chaos tests in this
+// package: each resilience claim has a failing-then-recovering test
+// driven by the deterministic internal/chaos injector.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	gcke "repro"
+	"repro/internal/backoff"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/runner"
+	"repro/internal/sm"
+)
+
+// Config assembles the service. The zero value of every field selects a
+// sensible default (see the field comments).
+type Config struct {
+	// Workers is the number of concurrent simulation slots (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a slot
+	// beyond the ones executing (default 2*Workers). Past
+	// Workers+QueueDepth, requests are shed with 429.
+	QueueDepth int
+	// JobTimeout bounds each attempt's wall-clock time (0 = unbounded).
+	JobTimeout time.Duration
+	// MaxRetries is how many times a transiently-failed job is re-run
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// Retry is the backoff schedule between attempts (zero value =
+	// backoff defaults without jitter; backoff.Default() is recommended).
+	Retry backoff.Policy
+	// BreakerThreshold is how many invariant-watchdog violations a job
+	// fingerprint accrues before its circuit opens (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds before allowing
+	// a probe (default 1m).
+	BreakerCooldown time.Duration
+	// RetryAfter is the Retry-After hint on queue-shed responses
+	// (default 1s). Breaker sheds report the circuit's remaining
+	// cooldown instead.
+	RetryAfter time.Duration
+	// Journal, when non-nil, checkpoints completed jobs and replays
+	// already-journaled fingerprints without re-simulating. Drain closes
+	// it.
+	Journal *journal.Journal
+	// Chaos, when non-nil, wires the deterministic fault injector into
+	// the runner and journal (dev/test only — the -chaos flag).
+	Chaos *chaos.Injector
+	// Check enables the per-cycle invariant watchdog on every derived
+	// session.
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Create with New, expose with
+// Handler or ListenAndServe, stop with Drain.
+type Server struct {
+	cfg     Config
+	run     *runner.Runner
+	slots   chan struct{} // execution slots (capacity Workers)
+	queued  atomic.Int64  // admitted requests (waiting + executing)
+	brk     *breaker
+	mux     *http.ServeMux
+	hs      atomic.Pointer[http.Server]
+	drainng atomic.Bool
+
+	accepted  atomic.Int64
+	shedQueue atomic.Int64
+	shedBrk   atomic.Int64
+	retries   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// New assembles a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	r := runner.New(cfg.Workers)
+	r.Timeout = cfg.JobTimeout
+	r.Journal = cfg.Journal
+	r.Check = cfg.Check
+	if cfg.Chaos != nil {
+		r.Fault = cfg.Chaos.JobFault
+		if cfg.Journal != nil {
+			cfg.Journal.FaultHook = cfg.Chaos.JournalFault
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		run:   r,
+		slots: make(chan struct{}, cfg.Workers),
+		brk:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/jobs", s.handleJob)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Drain (or a listener error).
+// http.ErrServerClosed — the clean-drain outcome — is returned as nil.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Drain (or a listener error).
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	s.hs.Store(hs)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Drain performs graceful shutdown: new work is refused (503, /readyz
+// red) while in-flight requests run to completion, then the journal is
+// closed so every completed job is durable. ctx bounds the wait; on
+// expiry the remaining requests are abandoned and ctx's error returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainng.Store(true)
+	if hs := s.hs.Load(); hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+	} else {
+		// Handler-only deployment (tests): poll the admission count.
+		for s.queued.Load() > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	if s.cfg.Journal != nil {
+		return s.cfg.Journal.Close()
+	}
+	return nil
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.drainng.Load() }
+
+// JobRequest is the wire shape of one simulation job. The machine is
+// described by size (sms) and run lengths; kernels are Table 2 names;
+// scheme uses the gcke.Scheme JSON encoding (Go field names).
+type JobRequest struct {
+	SMs           int         `json:"sms"`
+	Cycles        int64       `json:"cycles"`
+	ProfileCycles int64       `json:"profile_cycles,omitempty"`
+	Kernels       []string    `json:"kernels"`
+	Scheme        gcke.Scheme `json:"scheme"`
+	// Timeout, when set (Go duration string), bounds the job's whole
+	// retry loop — layered on the server's per-attempt JobTimeout.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// build validates the request into a runnable job plus its fingerprint
+// and optional request-level deadline.
+func (req *JobRequest) build() (runner.Job, string, time.Duration, error) {
+	if req.SMs <= 0 {
+		req.SMs = 4
+	}
+	if req.Cycles <= 0 {
+		return runner.Job{}, "", 0, fmt.Errorf("cycles must be positive")
+	}
+	if len(req.Kernels) == 0 {
+		return runner.Job{}, "", 0, fmt.Errorf("kernels must name at least one benchmark")
+	}
+	ds := make([]gcke.Kernel, len(req.Kernels))
+	for i, name := range req.Kernels {
+		d, err := gcke.Benchmark(name)
+		if err != nil {
+			return runner.Job{}, "", 0, err
+		}
+		ds[i] = d
+	}
+	if err := req.Scheme.Validate(len(ds)); err != nil {
+		return runner.Job{}, "", 0, err
+	}
+	var timeout time.Duration
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			return runner.Job{}, "", 0, fmt.Errorf("timeout %q: want a positive Go duration", req.Timeout)
+		}
+		timeout = d
+	}
+	job := runner.Job{
+		Config:        gcke.ScaledConfig(req.SMs),
+		Cycles:        req.Cycles,
+		ProfileCycles: req.ProfileCycles,
+		Kernels:       ds,
+		Scheme:        req.Scheme,
+	}
+	key, err := job.Key()
+	if err != nil {
+		return runner.Job{}, "", 0, err
+	}
+	return job, key, timeout, nil
+}
+
+// JobResponse is the wire shape of one job outcome.
+type JobResponse struct {
+	Key             string               `json:"key"`
+	Index           int                  `json:"index"`
+	Attempts        int                  `json:"attempts"`
+	Replayed        bool                 `json:"replayed,omitempty"`
+	WeightedSpeedup float64              `json:"weighted_speedup,omitempty"`
+	ANTT            float64              `json:"antt,omitempty"`
+	Fairness        float64              `json:"fairness,omitempty"`
+	Error           string               `json:"error,omitempty"`
+	Transient       bool                 `json:"transient,omitempty"`
+	Result          *gcke.WorkloadResult `json:"result,omitempty"`
+}
+
+func (s *Server) response(index int, res runner.Result, attempts int, full bool) JobResponse {
+	out := JobResponse{Key: res.Key, Index: index, Attempts: attempts, Replayed: res.Replayed}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		out.Transient = runner.IsTransient(res.Err)
+		return out
+	}
+	out.WeightedSpeedup = res.Res.WeightedSpeedup()
+	out.ANTT = res.Res.ANTT()
+	out.Fairness = res.Res.Fairness()
+	if full {
+		out.Result = res.Res
+	}
+	return out
+}
+
+// admit claims an admission slot, shedding when Workers+QueueDepth
+// requests are already in the building.
+func (s *Server) admit() bool {
+	if s.queued.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.shedQueue.Add(1)
+		return false
+	}
+	s.accepted.Add(1)
+	return true
+}
+
+func (s *Server) release() { s.queued.Add(-1) }
+
+// executeSlot runs one job through the retry loop on an execution slot.
+func (s *Server) executeSlot(ctx context.Context, job runner.Job, key string) (runner.Result, int) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return runner.Result{Key: key, Err: ctx.Err()}, 0
+	}
+	defer func() { <-s.slots }()
+	return s.execute(ctx, job, key)
+}
+
+// execute is the retry loop: run, classify, back off, re-run. Transient
+// failures (recovered panic, per-attempt deadline) are retried up to
+// MaxRetries times with deterministic per-fingerprint backoff jitter;
+// everything else — cancellation, validation, invariant violations,
+// journal write errors — returns immediately. Invariant violations are
+// additionally scored against the fingerprint's circuit breaker.
+func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runner.Result, int) {
+	attempts := 0
+	for {
+		attempts++
+		res := s.run.Run(ctx, []runner.Job{job})[0]
+		if res.Err == nil {
+			s.brk.success(key)
+			s.completed.Add(1)
+			return res, attempts
+		}
+		var ie *sm.InvariantError
+		if errors.As(res.Err, &ie) {
+			s.brk.failure(key)
+		}
+		if !runner.IsTransient(res.Err) || attempts > s.cfg.MaxRetries {
+			s.failed.Add(1)
+			return res, attempts
+		}
+		s.retries.Add(1)
+		t := time.NewTimer(s.cfg.Retry.Delay(key, attempts))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			s.failed.Add(1)
+			return res, attempts
+		case <-t.C:
+		}
+	}
+}
+
+// shed writes a 429 with a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, retryAfter time.Duration, reason string) {
+	secs := int(retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": reason})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// statusOf maps a failed result to its HTTP status.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable // drain or client gone
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	if s.drainng.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding job: " + err.Error()})
+		return
+	}
+	job, key, timeout, err := req.build()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if ok, wait := s.brk.allow(key); !ok {
+		s.shedBrk.Add(1)
+		s.shed(w, wait, "circuit open for "+key+": repeated invariant violations")
+		return
+	}
+	if !s.admit() {
+		s.shed(w, s.cfg.RetryAfter, "admission queue full")
+		return
+	}
+	defer s.release()
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, attempts := s.executeSlot(ctx, job, key)
+	full := r.URL.Query().Get("full") == "1"
+	resp := s.response(0, res, attempts, full)
+	if res.Err != nil {
+		writeJSON(w, statusOf(res.Err), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweep accepts a JSON array of jobs and streams one NDJSON
+// JobResponse line per job, in submission order, as results become
+// available. The sweep holds one admission slot; its points share the
+// server's execution slots and each point goes through the same
+// breaker/retry path as a single job.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	if s.drainng.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	var reqs []JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding sweep: " + err.Error()})
+		return
+	}
+	if len(reqs) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "empty sweep"})
+		return
+	}
+	jobs := make([]runner.Job, len(reqs))
+	keys := make([]string, len(reqs))
+	for i := range reqs {
+		job, key, _, err := reqs[i].build()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				map[string]string{"error": fmt.Sprintf("job %d: %v", i, err)})
+			return
+		}
+		jobs[i], keys[i] = job, key
+	}
+	if !s.admit() {
+		s.shed(w, s.cfg.RetryAfter, "admission queue full")
+		return
+	}
+	defer s.release()
+
+	ctx := r.Context()
+	full := r.URL.Query().Get("full") == "1"
+	out := make([]JobResponse, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	go func() {
+		runner.Map(ctx, s.cfg.Workers, len(jobs), func(i int) {
+			if ok, wait := s.brk.allow(keys[i]); !ok {
+				s.shedBrk.Add(1)
+				out[i] = JobResponse{Key: keys[i], Index: i,
+					Error: fmt.Sprintf("circuit open: retry after %s", wait.Round(time.Second))}
+			} else {
+				res, attempts := s.executeSlot(ctx, jobs[i], keys[i])
+				out[i] = s.response(i, res, attempts, full)
+			}
+			close(done[i])
+		})
+		// Points never dispatched (cancelled feeder): attribute the
+		// cancellation. Map has returned, so no concurrent writers.
+		for i := range done {
+			select {
+			case <-done[i]:
+			default:
+				out[i] = JobResponse{Key: keys[i], Index: i, Error: context.Cause(ctx).Error()}
+				close(done[i])
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range done {
+		<-done[i]
+		enc.Encode(out[i])
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleHealthz is liveness: 200 while the process serves at all —
+// chaos faults, open circuits and shed load do not make it red.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: red while draining or while the admission
+// queue is saturated, so a load balancer stops routing before requests
+// start bouncing off 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.drainng.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.queued.Load() >= int64(s.cfg.Workers+s.cfg.QueueDepth):
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// Stats is the /statz snapshot.
+type Stats struct {
+	Accepted    int64 `json:"accepted"`
+	ShedQueue   int64 `json:"shed_queue"`
+	ShedBreaker int64 `json:"shed_breaker"`
+	Retries     int64 `json:"retries"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Queued      int64 `json:"queued"`
+	BreakerOpen int   `json:"breaker_open"`
+	Draining    bool  `json:"draining"`
+	JournalLen  int   `json:"journal_len,omitempty"`
+}
+
+// StatsSnapshot returns current counters (also served at /statz).
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		Accepted:    s.accepted.Load(),
+		ShedQueue:   s.shedQueue.Load(),
+		ShedBreaker: s.shedBrk.Load(),
+		Retries:     s.retries.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Queued:      s.queued.Load(),
+		BreakerOpen: s.brk.openCount(),
+		Draining:    s.drainng.Load(),
+	}
+	if s.cfg.Journal != nil {
+		st.JournalLen = s.cfg.Journal.Len()
+	}
+	return st
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
