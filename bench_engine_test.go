@@ -1,0 +1,102 @@
+// Engine benchmarks: raw cycle-loop throughput (cycles/sec) and GC
+// pressure (allocs/cycle) of the simulator core, measured over gpu.Run
+// directly so session/profile overhead does not blur the numbers.
+//
+// The suite is the perf-regression harness for the cycle engine:
+// results/BENCH_engine.json records the pre-parallel-engine baseline;
+// CI runs the suite with -benchtime=1x as a smoke test. Run with
+//
+//	go test -run '^$' -bench BenchmarkSimulatorCycleRate -benchmem
+package gcke_test
+
+import (
+	"runtime"
+	"testing"
+
+	gcke "repro"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/trace"
+)
+
+const engineBenchCycles = 20_000
+
+// engineWorkload builds descriptors and an even quota for the named
+// kernels on a benchCfg-scaled machine.
+func engineWorkload(b *testing.B, names ...string) ([]*kern.Desc, [][]int, gcke.Config) {
+	b.Helper()
+	cfg := gcke.ScaledConfig(4)
+	descs := make([]*kern.Desc, len(names))
+	for i, n := range names {
+		d, err := kern.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dd := d
+		descs[i] = &dd
+	}
+	per := make([]int, len(descs))
+	for i, d := range descs {
+		per[i] = d.MaxTBsPerSM(&cfg) / len(descs)
+		if per[i] < 1 {
+			per[i] = 1
+		}
+	}
+	return descs, gpu.UniformQuota(cfg.NumSMs, per), cfg
+}
+
+// runEngineBench runs the cycle loop b.N times under opts and reports
+// cycles/sec and allocs/cycle.
+func runEngineBench(b *testing.B, names []string, mutate func(*gpu.Options)) {
+	b.Helper()
+	descs, quota, cfg := engineWorkload(b, names...)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := &gpu.Options{Cycles: engineBenchCycles, Quota: quota}
+		if mutate != nil {
+			mutate(opts)
+		}
+		if _, err := gpu.Run(cfg, descs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	totalCycles := float64(b.N) * engineBenchCycles
+	b.ReportMetric(totalCycles/b.Elapsed().Seconds(), "cycles/sec")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/totalCycles, "allocs/cycle")
+}
+
+// BenchmarkSimulatorCycleRate measures raw simulator throughput across
+// the engine's main operating points: one kernel, a two-kernel CKE mix,
+// and the CKE mix with cycle-level tracing enabled.
+func BenchmarkSimulatorCycleRate(b *testing.B) {
+	b.Run("1kernel", func(b *testing.B) {
+		runEngineBench(b, []string{"bp"}, nil)
+	})
+	b.Run("2kernelCKE", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, nil)
+	})
+	b.Run("2kernelCKE-trace", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
+			o.Trace = trace.New(1 << 14)
+		})
+	})
+	// Intra-run parallelism (per-cycle SM tick fan-out). Speedup needs
+	// real cores: on a multi-core machine workers=gomaxprocs should beat
+	// serial on the multi-kernel mix; on one core it measures the
+	// fan-out overhead instead.
+	b.Run("2kernelCKE-serial", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
+			o.Workers = 1
+		})
+	})
+	b.Run("2kernelCKE-parallel", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
+			o.Workers = runtime.GOMAXPROCS(0)
+		})
+	})
+}

@@ -205,22 +205,6 @@ func BenchmarkAblationGlobalDMIL(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorCycleRate measures raw simulator throughput:
-// cycles simulated per second on one isolated kernel.
-func BenchmarkSimulatorCycleRate(b *testing.B) {
-	s := benchSession()
-	bp, err := gcke.Benchmark("bp")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// Bypass the cache by varying nothing observable: RunIsolated
-		// caches, so use a fresh session per iteration.
-		ses := benchSession()
-		if _, err := ses.RunIsolated(bp); err != nil {
-			b.Fatal(err)
-		}
-	}
-	_ = s
-}
+// BenchmarkSimulatorCycleRate lives in bench_engine_test.go: it grew
+// into the engine perf-regression suite (1-kernel, 2-kernel CKE,
+// trace-on, parallel workers) reporting cycles/sec and allocs/cycle.

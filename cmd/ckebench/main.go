@@ -46,9 +46,15 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size per experiment (0 = GOMAXPROCS, 1 = serial)")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
 	journalPath := flag.String("journal", "", "checkpoint journal path; completed points are replayed on restart (empty = disabled)")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := gcke.ScaledConfig(*sms)
 	if *paperScale {
@@ -63,6 +69,7 @@ func main() {
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
 	session.Check = *check
+	session.Workers = prof.Workers
 	var jnl *journal.Journal
 	if *journalPath != "" {
 		var err error

@@ -40,13 +40,20 @@ func main() {
 	verbose := flag.Bool("v", false, "print reservation-failure breakdown")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := gcke.ScaledConfig(*sms)
 	s := gcke.NewSession(cfg, *cycles)
 	s.Check = *check
+	s.Workers = prof.Workers
 
 	names := gcke.BenchmarkNames()
 	if *benchList != "" {
@@ -54,7 +61,7 @@ func main() {
 	}
 
 	rows := make([]charRow, len(names))
-	err := runner.MapErr(ctx, *parallel, len(names), func(i int) error {
+	err = runner.MapErr(ctx, *parallel, len(names), func(i int) error {
 		d, err := gcke.Benchmark(strings.TrimSpace(names[i]))
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/kern"
@@ -17,7 +18,13 @@ func main() {
 	name := flag.String("bench", "bs", "benchmark")
 	sms := flag.Int("sms", 4, "SMs")
 	cycles := flag.Int64("cycles", 50000, "cycles")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	cfg := config.Scaled(*sms)
 	d, err := kern.ByName(*name)
 	if err != nil {
@@ -25,8 +32,9 @@ func main() {
 	}
 	descs := []*kern.Desc{&d}
 	opts := &gpu.Options{
-		Cycles: *cycles,
-		Quota:  gpu.UniformQuota(cfg.NumSMs, []int{d.MaxTBsPerSM(&cfg)}),
+		Cycles:  *cycles,
+		Quota:   gpu.UniformQuota(cfg.NumSMs, []int{d.MaxTBsPerSM(&cfg)}),
+		Workers: prof.Workers,
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {

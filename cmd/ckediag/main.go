@@ -24,10 +24,16 @@ func main() {
 	pair := flag.String("pair", "bp,sv", "kernel pair")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	rb := cli.AddFlags(flag.CommandLine)
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := rb.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
@@ -35,6 +41,7 @@ func main() {
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
 	session.Check = rb.Check
+	session.Workers = prof.Workers
 
 	names := strings.Split(*pair, ",")
 	var ds []gcke.Kernel

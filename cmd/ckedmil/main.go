@@ -32,10 +32,16 @@ func main() {
 	cycles := flag.Int64("cycles", 300_000, "cycles")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	rb := cli.AddFlags(flag.CommandLine)
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := rb.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
@@ -43,7 +49,7 @@ func main() {
 	bufs := make([]bytes.Buffer, len(specs))
 	errs := make([]error, len(specs))
 	runner.Map(ctx, *parallel, len(specs), func(i int) {
-		errs[i] = trace(ctx, &bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles, rb.Check)
+		errs[i] = trace(ctx, &bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles, rb.Check, prof.Workers)
 	})
 	failed := 0
 	for i, spec := range specs {
@@ -71,7 +77,7 @@ func main() {
 
 // trace runs one workload with per-kernel DMILs and writes the
 // limit/inflight timeline plus the final result to w.
-func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles int64, check bool) error {
+func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles int64, check bool, workers int) error {
 	cfg := config.Scaled(4)
 	var descs []*kern.Desc
 	for _, n := range strings.Split(pairSpec, ",") {
@@ -126,6 +132,7 @@ func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles 
 		HookInterval: 1000,
 		Interrupt:    func() bool { return ctx.Err() != nil },
 		Check:        gpu.CheckConfig{Enabled: check},
+		Workers:      workers,
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {

@@ -37,6 +37,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long SIGTERM waits for in-flight jobs before giving up")
 	journalPath := flag.String("journal", "", "checkpoint journal path; completed jobs are replayed instead of re-simulated (empty = disabled)")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
+	engineWorkers := flag.Int("engine-workers", 0, "SM-tick goroutines per executing job (0 = GOMAXPROCS/slots; results are identical)")
 	breakerN := flag.Int("breaker-threshold", 3, "invariant violations per job fingerprint before its circuit opens")
 	breakerCool := flag.Duration("breaker-cooldown", time.Minute, "how long an open circuit sheds before allowing a probe")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection (dev only), e.g. panic=0.5,hang=0.2,journal=0.1,invariant=0.05,seed=42,failures=1")
@@ -51,6 +52,7 @@ func main() {
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
 		Check:            *check,
+		EngineWorkers:    *engineWorkers,
 	}
 	if *chaosSpec != "" {
 		ccfg, err := chaos.Parse(*chaosSpec)

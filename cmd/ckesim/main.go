@@ -78,14 +78,21 @@ func main() {
 	cycles := flag.Int64("cycles", 300_000, "evaluation cycles")
 	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := gcke.ScaledConfig(*sms)
 	session := gcke.NewSession(cfg, *cycles)
 	session.ProfileCycles = *profCycles
 	session.Check = *check
+	session.Workers = prof.Workers
 
 	var wl []gcke.Kernel
 	for _, n := range strings.Split(*kernels, ",") {

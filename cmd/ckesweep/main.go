@@ -26,10 +26,16 @@ func main() {
 	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	rb := cli.AddFlags(flag.CommandLine)
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := rb.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
@@ -37,6 +43,7 @@ func main() {
 	s := gcke.NewSession(cfg, *cycles)
 	s.ProfileCycles = 60_000
 	s.Check = rb.Check
+	s.Workers = prof.Workers
 
 	var ds []gcke.Kernel
 	for _, n := range strings.Split(*pair, ",") {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -30,7 +31,13 @@ func main() {
 	cycles := flag.Int64("cycles", 20_000, "cycles to simulate")
 	events := flag.Int("events", 120, "trace tail length to print")
 	kindFilter := flag.String("kind", "", "only show events of this kind (e.g. rsfail, mem-issue)")
+	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	cfg := config.Scaled(1) // one SM: a readable interleaving
 	var descs []*kern.Desc
@@ -46,9 +53,10 @@ func main() {
 
 	buf := trace.New(1 << 16)
 	opts := &gpu.Options{
-		Cycles: *cycles,
-		Quota:  gpu.UniformQuota(cfg.NumSMs, quota),
-		Trace:  buf,
+		Cycles:  *cycles,
+		Quota:   gpu.UniformQuota(cfg.NumSMs, quota),
+		Trace:   buf,
+		Workers: prof.Workers,
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {

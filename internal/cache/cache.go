@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/ring"
 )
 
 // Result classifies the outcome of an Access.
@@ -90,7 +91,8 @@ type mshrEntry struct {
 	lineAddr uint64
 	targets  []*mem.Request
 	set, way int
-	isStore  bool // WBWA store-miss entry: fill marks dirty, no response expected upward
+	isStore  bool       // WBWA store-miss entry: fill marks dirty, no response expected upward
+	next     *mshrEntry // free-list link (entries are recycled across fills)
 }
 
 // KernelStats aggregates per-kernel cache statistics.
@@ -135,14 +137,23 @@ type Cache struct {
 
 	mshrMap  map[uint64]*mshrEntry
 	mshrFree int
+	// entryFree recycles mshrEntry records (and their targets storage)
+	// across fills, keeping MSHR turnover allocation-free.
+	entryFree *mshrEntry
 
-	missQ    []*mem.Request // pending fetch/forward requests toward the lower level
+	missQ    ring.Ring[*mem.Request] // pending fetch/forward requests toward the lower level
 	missQCap int
 
 	// Writeback queue for dirty evictions (write-back caches). Drained
 	// via PopWriteback; if full, allocation fails with ResFailLine.
-	wbQ    []*mem.Request
+	wbQ    ring.Ring[*mem.Request]
 	wbQCap int
+
+	// Pool, when non-nil, supplies the fetch and writeback requests this
+	// cache creates and receives the MSHR-target requests it retires.
+	// The owner (SM for an L1, the GPU for an L2 partition) sets it; nil
+	// falls back to plain allocation.
+	Pool *mem.Pool
 
 	lruClock uint64
 
@@ -298,13 +309,13 @@ func (c *Cache) Access(req *mem.Request) Result {
 		if req.Kind == mem.Store && !c.cfg.WriteBack {
 			// Write-evict: invalidate on write hit and forward the
 			// store to the lower level.
-			if len(c.missQ) >= c.missQCap {
+			if c.missQ.Len() >= c.missQCap {
 				st.RsFail++
 				st.RsFailMQ++
 				return ResFailMissQueue
 			}
 			ln.valid = false
-			c.missQ = append(c.missQ, req)
+			c.missQ.Push(req)
 			st.Accesses++
 			st.Hits++
 			return Forwarded
@@ -322,12 +333,12 @@ func (c *Cache) Access(req *mem.Request) Result {
 	// Miss path.
 	if req.Kind == mem.Store && !c.cfg.WriteBack {
 		// Write-no-allocate: forward the store.
-		if len(c.missQ) >= c.missQCap {
+		if c.missQ.Len() >= c.missQCap {
 			st.RsFail++
 			st.RsFailMQ++
 			return ResFailMissQueue
 		}
-		c.missQ = append(c.missQ, req)
+		c.missQ.Push(req)
 		st.Accesses++
 		st.Misses++
 		return Forwarded
@@ -341,12 +352,12 @@ func (c *Cache) Access(req *mem.Request) Result {
 	if k < len(c.bypass) && c.bypass[k] && req.Kind == mem.Load {
 		// Bypass: ship the original request below; its response will
 		// complete the instruction without filling this cache.
-		if len(c.missQ) >= c.missQCap {
+		if c.missQ.Len() >= c.missQCap {
 			st.RsFail++
 			st.RsFailMQ++
 			return ResFailMissQueue
 		}
-		c.missQ = append(c.missQ, req)
+		c.missQ.Push(req)
 		st.Accesses++
 		st.Misses++
 		st.Bypassed++
@@ -380,7 +391,7 @@ func (c *Cache) Access(req *mem.Request) Result {
 		st.RsFailMSHR++
 		return ResFailMSHR
 	}
-	if len(c.missQ) >= c.missQCap {
+	if c.missQ.Len() >= c.missQCap {
 		st.RsFail++
 		st.RsFailMQ++
 		return ResFailMissQueue
@@ -399,21 +410,21 @@ func (c *Cache) Access(req *mem.Request) Result {
 	c.lruClock++
 	*ln = line{tag: req.LineAddr, valid: false, reserved: true, owner: int8(k), lru: c.lruClock}
 
-	e := &mshrEntry{lineAddr: req.LineAddr, set: set, way: w, isStore: req.Kind == mem.Store}
+	e := c.newEntry()
+	e.lineAddr, e.set, e.way, e.isStore = req.LineAddr, set, w, req.Kind == mem.Store
 	e.targets = append(e.targets, req)
 	c.mshrMap[req.LineAddr] = e
 	c.mshrFree--
 
 	// The fetch sent below is a load for the full line regardless of the
 	// triggering request's kind (WBWA store misses fetch-then-merge).
-	fetch := &mem.Request{
-		LineAddr: req.LineAddr,
-		Kind:     mem.Load,
-		Kernel:   k,
-		SM:       req.SM,
-		Warp:     req.Warp,
-	}
-	c.missQ = append(c.missQ, fetch)
+	fetch := c.Pool.Request()
+	fetch.LineAddr = req.LineAddr
+	fetch.Kind = mem.Load
+	fetch.Kernel = k
+	fetch.SM = req.SM
+	fetch.Warp = req.Warp
+	c.missQ.Push(fetch)
 	st.Accesses++
 	st.Misses++
 	return Miss
@@ -424,17 +435,17 @@ func (c *Cache) Access(req *mem.Request) Result {
 // full (the allocation must be retried).
 func (c *Cache) evictForAlloc(ln *line, smID int, st *KernelStats) Result {
 	if ln.valid && ln.dirty && c.cfg.WriteBack {
-		if len(c.wbQ) >= c.wbQCap {
+		if c.wbQ.Len() >= c.wbQCap {
 			st.RsFail++
 			st.RsFailLine++
 			return ResFailLine
 		}
-		c.wbQ = append(c.wbQ, &mem.Request{
-			LineAddr: ln.tag,
-			Kind:     mem.Store,
-			Kernel:   int(ln.owner),
-			SM:       smID,
-		})
+		wb := c.Pool.Request()
+		wb.LineAddr = ln.tag
+		wb.Kind = mem.Store
+		wb.Kernel = int(ln.owner)
+		wb.SM = smID
+		c.wbQ.Push(wb)
 	}
 	return Hit
 }
@@ -463,32 +474,26 @@ func (c *Cache) merge(req *mem.Request, st *KernelStats) Result {
 // PopMiss removes and returns the oldest pending fetch/forward request,
 // or nil when the miss queue is empty.
 func (c *Cache) PopMiss() *mem.Request {
-	if len(c.missQ) == 0 {
-		return nil
+	if r, ok := c.missQ.TryPop(); ok {
+		return r
 	}
-	r := c.missQ[0]
-	copy(c.missQ, c.missQ[1:])
-	c.missQ = c.missQ[:len(c.missQ)-1]
-	return r
+	return nil
 }
 
 // PeekMiss returns the oldest pending request without removing it.
 func (c *Cache) PeekMiss() *mem.Request {
-	if len(c.missQ) == 0 {
+	if c.missQ.Empty() {
 		return nil
 	}
-	return c.missQ[0]
+	return c.missQ.Peek()
 }
 
 // PopWriteback removes and returns the oldest dirty-eviction writeback.
 func (c *Cache) PopWriteback() *mem.Request {
-	if len(c.wbQ) == 0 {
-		return nil
+	if r, ok := c.wbQ.TryPop(); ok {
+		return r
 	}
-	r := c.wbQ[0]
-	copy(c.wbQ, c.wbQ[1:])
-	c.wbQ = c.wbQ[:len(c.wbQ)-1]
-	return r
+	return nil
 }
 
 // Fill delivers the line for lineAddr, validating the reserved line,
@@ -518,7 +523,34 @@ func (c *Cache) Fill(lineAddr uint64) []*mem.Request {
 			}
 		}
 	}
-	return e.targets
+	targets := e.targets
+	c.freeEntry(e)
+	return targets
+}
+
+// newEntry takes an mshrEntry from the free list (or allocates one).
+// Its targets slice is empty but keeps prior capacity.
+func (c *Cache) newEntry() *mshrEntry {
+	e := c.entryFree
+	if e == nil {
+		return &mshrEntry{}
+	}
+	c.entryFree = e.next
+	e.next = nil
+	return e
+}
+
+// freeEntry recycles an mshrEntry after its fill. The targets returned
+// to the caller stay valid until the next miss allocates an entry, by
+// which point the owner has retired them (fills are consumed in the
+// same cycle they are delivered).
+func (c *Cache) freeEntry(e *mshrEntry) {
+	// Truncate without zeroing: the returned slice aliases this storage
+	// and the caller is still consuming it. Stale pointers beyond the
+	// next entry's length are overwritten by its appends.
+	e.targets = e.targets[:0]
+	e.next = c.entryFree
+	c.entryFree = e
 }
 
 // Contains reports whether lineAddr is resident and valid, without
@@ -537,7 +569,7 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 func (c *Cache) MSHRInUse() int { return c.cfg.MSHRs - c.mshrFree }
 
 // MissQueueLen returns the current miss queue occupancy.
-func (c *Cache) MissQueueLen() int { return len(c.missQ) }
+func (c *Cache) MissQueueLen() int { return c.missQ.Len() }
 
 // SetPartition installs a per-kernel way quota (UCP enforcement). Pass
 // nil to disable partitioning.

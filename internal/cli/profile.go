@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling bundles the performance-diagnosis options shared by every
+// driver: the three pprof outputs and the cycle engine's intra-run
+// worker count.
+type Profiling struct {
+	// CPUProfile / MemProfile / BlockProfile are output paths for the
+	// corresponding pprof profiles (empty = disabled).
+	CPUProfile   string
+	MemProfile   string
+	BlockProfile string
+	// Workers is the per-run SM tick fan-out passed to the engine
+	// (gpu.Options.Workers): 0 = GOMAXPROCS, 1 = serial. Results are
+	// byte-identical for any value.
+	Workers int
+}
+
+// AddProfileFlags registers -cpuprofile, -memprofile, -blockprofile and
+// -workers on fs.
+func AddProfileFlags(fs *flag.FlagSet) *Profiling {
+	p := &Profiling{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "",
+		"write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "",
+		"write an allocation profile to this file at exit")
+	fs.StringVar(&p.BlockProfile, "blockprofile", "",
+		"write a goroutine blocking profile to this file at exit")
+	fs.IntVar(&p.Workers, "workers", 0,
+		"SM-tick goroutines per simulation cycle (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	return p
+}
+
+// Start begins the requested profiles and returns a stop function that
+// flushes them; call it (usually via defer) before exiting. The stop
+// function is never nil.
+func (p *Profiling) Start() (func(), error) {
+	var cpuFile *os.File
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return func() {}, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func() {}, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	if p.BlockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if p.MemProfile != "" {
+			if f, err := os.Create(p.MemProfile); err == nil {
+				runtime.GC() // materialize the final live-heap numbers
+				pprof.Lookup("allocs").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "cli: -memprofile: %v\n", err)
+			}
+		}
+		if p.BlockProfile != "" {
+			if f, err := os.Create(p.BlockProfile); err == nil {
+				pprof.Lookup("block").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "cli: -blockprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -10,6 +10,7 @@ package dram
 import (
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/ring"
 )
 
 type bank struct {
@@ -35,7 +36,11 @@ type Channel struct {
 	banks        []bank
 	queue        []pending
 	busBusyUntil int64
-	resp         []response
+	resp         ring.Ring[response]
+
+	// Pool, when non-nil, receives served store requests (stores need no
+	// response, so the channel is their final owner). Set by the GPU.
+	Pool *mem.Pool
 
 	// Statistics.
 	Served  uint64
@@ -88,7 +93,7 @@ func (c *Channel) Tick(cycle int64) {
 	if len(c.queue) == 0 {
 		return
 	}
-	if len(c.resp) >= c.cfg.ReturnQueue {
+	if c.resp.Len() >= c.cfg.ReturnQueue {
 		return // response queue backpressure
 	}
 	pick := -1
@@ -140,7 +145,11 @@ func (c *Channel) Tick(cycle int64) {
 	bk.busyUntil = done
 	c.Served++
 	if p.req.Kind == mem.Load {
-		c.resp = append(c.resp, response{req: p.req, readyAt: done})
+		c.resp.Push(response{req: p.req, readyAt: done})
+	} else {
+		// Stores are fire-and-forget: no response travels back up, so
+		// the request retires here.
+		c.Pool.Release(p.req)
 	}
 }
 
@@ -149,13 +158,10 @@ func (c *Channel) Tick(cycle int64) {
 func (c *Channel) PopResponse(cycle int64) *mem.Request {
 	// Completion order follows bus order, so the slice is sorted by
 	// readyAt as appended.
-	if len(c.resp) == 0 || c.resp[0].readyAt > cycle {
+	if c.resp.Empty() || c.resp.Peek().readyAt > cycle {
 		return nil
 	}
-	r := c.resp[0].req
-	copy(c.resp, c.resp[1:])
-	c.resp = c.resp[:len(c.resp)-1]
-	return r
+	return c.resp.Pop().req
 }
 
 // QueueLen returns the number of waiting requests.

@@ -9,6 +9,9 @@ package gpu
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/icnt"
 	"repro/internal/kern"
 	"repro/internal/mem"
+	"repro/internal/ring"
 	"repro/internal/sm"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -61,6 +65,16 @@ type Options struct {
 	Interrupt func() bool
 	// Check enables the per-cycle invariant watchdog (see watchdog.go).
 	Check CheckConfig
+	// Workers sets how many goroutines tick SMs concurrently within one
+	// cycle (the response-delivery + SM-tick phase; everything else
+	// stays serial). 0 means GOMAXPROCS. Clamped to the SM count, and
+	// forced to 1 when the policy factories share a mutable instance
+	// across SMs (e.g. core.GlobalDMIL) — a shared limiter ticked from
+	// several goroutines would race. Any value produces byte-identical
+	// results: SMs are mutually independent within the parallel phase,
+	// and every cross-SM interaction happens in the serial phases in
+	// fixed SM-index order.
+	Workers int
 }
 
 type l2Response struct {
@@ -70,13 +84,10 @@ type l2Response struct {
 
 // partition is one L2 slice plus its DRAM channel.
 type partition struct {
-	l2     *cache.Cache
-	ch     *dram.Channel
-	inQ    []*mem.Request
-	inHead int
-	resp   []l2Response
-	respH  int
-	outQ   []*mem.Request // responses awaiting network injection
+	l2   *cache.Cache
+	ch   *dram.Channel
+	inQ  ring.Ring[*mem.Request]
+	resp ring.Ring[l2Response]
 }
 
 // GPU is a fully assembled simulator instance.
@@ -93,6 +104,18 @@ type GPU struct {
 	dataFlits int
 
 	cycle int64
+
+	// memPool recycles requests owned by the memory side (L2 partitions
+	// and DRAM channels, all ticked serially). Each SM has its own pool
+	// for the parallel phase.
+	memPool mem.Pool
+
+	// Parallel SM phase (see Step). Workers are started lazily on the
+	// first Step and stopped by Close.
+	workers        int
+	workCh         []chan int64
+	stepWG         sync.WaitGroup
+	workersStarted bool
 }
 
 // New builds a GPU running the given kernels under opts.
@@ -114,6 +137,10 @@ func New(cfg config.Config, descs []*kern.Desc, opts *Options) (*GPU, error) {
 		ctrlFlits: icnt.CtrlFlits(cfg.Icnt),
 		dataFlits: icnt.DataFlits(cfg.Icnt, cfg.L1D.LineBytes),
 	}
+	if opts.Trace != nil {
+		opts.Trace.EnsureShards(cfg.NumSMs)
+	}
+	var policies [][3]any
 	for i := 0; i < cfg.NumSMs; i++ {
 		if len(opts.Quota[i]) != len(descs) {
 			return nil, fmt.Errorf("gpu: Quota row %d has %d entries, want %d", i, len(opts.Quota[i]), len(descs))
@@ -130,6 +157,7 @@ func New(cfg config.Config, descs []*kern.Desc, opts *Options) (*GPU, error) {
 		if opts.Policies.Gate != nil {
 			gate = opts.Policies.Gate(i, len(descs))
 		}
+		policies = append(policies, [3]any{mp, lim, gate})
 		s := sm.New(i, &g.cfg, descs, opts.Quota[i], mp, lim, gate, cfg.Seed)
 		if opts.Series {
 			s.EnableSeries(opts.Cycles)
@@ -141,16 +169,77 @@ func New(cfg config.Config, descs []*kern.Desc, opts *Options) (*GPU, error) {
 			s.L1.SetBypass(opts.BypassL1)
 		}
 		s.Trace = opts.Trace
+		pool := &mem.Pool{}
+		s.Pool = pool
+		s.L1.Pool = pool
 		g.SMs = append(g.SMs, s)
 	}
 	for p := 0; p < cfg.NumMemParts; p++ {
-		g.parts = append(g.parts, &partition{
+		part := &partition{
 			l2: cache.New(cfg.L2, len(descs)),
 			ch: dram.New(cfg.DRAM, cfg.L2.LineBytes),
-		})
+		}
+		part.l2.Pool = &g.memPool
+		part.ch.Pool = &g.memPool
+		g.parts = append(g.parts, part)
 	}
+	g.workers = effectiveWorkers(opts.Workers, cfg.NumSMs, policies)
 	return g, nil
 }
+
+// effectiveWorkers resolves the Workers option: 0 defaults to
+// GOMAXPROCS, the result never exceeds the SM count, and any mutable
+// policy instance shared across SMs forces serial ticking.
+func effectiveWorkers(requested, numSMs int, policies [][3]any) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > numSMs {
+		w = numSMs
+	}
+	if w > 1 && anySharedPolicy(policies) {
+		w = 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// anySharedPolicy reports whether any two SMs received the same policy
+// instance. Only pointer identity counts: stateless value
+// implementations (e.g. sm.NopLimiter{}) compare equal but carry no
+// state, so copies are safe to tick concurrently. A factory that shares
+// state behind a non-pointer handle must request Workers=1 itself.
+func anySharedPolicy(policies [][3]any) bool {
+	for slot := 0; slot < 3; slot++ {
+		for i := range policies {
+			pi := policies[i][slot]
+			if pi == nil {
+				continue
+			}
+			vi := reflect.ValueOf(pi)
+			if vi.Kind() != reflect.Pointer {
+				continue
+			}
+			for j := i + 1; j < len(policies); j++ {
+				pj := policies[j][slot]
+				if pj == nil {
+					continue
+				}
+				vj := reflect.ValueOf(pj)
+				if vj.Kind() == reflect.Pointer && vi.Pointer() == vj.Pointer() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Workers returns the resolved worker count the engine will use.
+func (g *GPU) Workers() int { return g.workers }
 
 // Cycle returns the current simulation cycle.
 func (g *GPU) Cycle() int64 { return g.cycle }
@@ -168,6 +257,7 @@ func Run(cfg config.Config, descs []*kern.Desc, opts *Options) (*stats.RunResult
 	if err != nil {
 		return nil, err
 	}
+	defer g.Close()
 	if err := g.RunCycles(opts); err != nil {
 		return nil, err
 	}
@@ -179,7 +269,6 @@ func Run(cfg config.Config, descs []*kern.Desc, opts *Options) (*stats.RunResult
 // opts.Interrupt reports cancellation, or a *sm.InvariantError when the
 // watchdog (opts.Check) detects a conservation violation.
 func (g *GPU) RunCycles(opts *Options) error {
-	ucpNext := int64(0)
 	if opts.UCP.Enabled && opts.UCP.Interval <= 0 {
 		opts.UCP.Interval = 50 * 1024
 	}
@@ -187,9 +276,33 @@ func (g *GPU) RunCycles(opts *Options) error {
 	if opts.Check.Enabled {
 		wd = newWatchdog(opts.Check, g.cycle)
 	}
+	// Hoist the per-cycle polling conditions into precomputed next-fire
+	// cycles: the loop body compares one int64 per feature instead of
+	// re-evaluating nil checks and modulo arithmetic every cycle.
+	const never = int64(^uint64(0) >> 1)
+	nextInterrupt := never
+	if opts.Interrupt != nil {
+		nextInterrupt = g.cycle - g.cycle%interruptInterval
+		if nextInterrupt < g.cycle {
+			nextInterrupt += interruptInterval
+		}
+	}
+	nextHook := never
+	if opts.Hook != nil && opts.HookInterval > 0 {
+		// The hook fires after Step, at the first multiple of
+		// HookInterval the cycle counter reaches.
+		nextHook = (g.cycle/opts.HookInterval + 1) * opts.HookInterval
+	}
+	ucpNext := never
+	if opts.UCP.Enabled {
+		ucpNext = g.cycle
+	}
 	for c := int64(0); c < opts.Cycles; c++ {
-		if opts.Interrupt != nil && g.cycle%interruptInterval == 0 && opts.Interrupt() {
-			return fmt.Errorf("%w at cycle %d of %d", ErrInterrupted, g.cycle, opts.Cycles)
+		if g.cycle == nextInterrupt {
+			if opts.Interrupt() {
+				return fmt.Errorf("%w at cycle %d of %d", ErrInterrupted, g.cycle, opts.Cycles)
+			}
+			nextInterrupt += interruptInterval
 		}
 		g.Step()
 		if wd != nil {
@@ -197,33 +310,47 @@ func (g *GPU) RunCycles(opts *Options) error {
 				return err
 			}
 		}
-		if opts.UCP.Enabled && g.cycle >= ucpNext {
+		if g.cycle >= ucpNext {
 			g.repartitionL1(opts.UCP.MinWays)
 			ucpNext = g.cycle + opts.UCP.Interval
 		}
-		if opts.Hook != nil && opts.HookInterval > 0 && g.cycle%opts.HookInterval == 0 {
+		if g.cycle == nextHook {
 			opts.Hook(g, g.cycle)
+			nextHook += opts.HookInterval
 		}
 	}
 	return nil
 }
 
 // Step advances the machine by one cycle.
+//
+// The cycle is split into an SM phase and a serial memory phase. In the
+// SM phase each SM consumes its private response-network ejection port
+// and ticks; SM i touches only SM i's state (its warps, L1, pool, trace
+// shard, per-SM policies and the network's per-destination queue), so
+// the phase runs on the worker pool when Workers > 1 with results
+// byte-identical to serial execution. Every structure shared across SMs
+// — the request network's injection queues, the L2 partitions, DRAM and
+// both crossbar ticks — is handled afterwards in fixed SM-index order.
 func (g *GPU) Step() {
 	c := g.cycle
 
-	// Deliver memory responses that arrived through the response
-	// network, then tick each SM.
-	for i, s := range g.SMs {
-		for {
-			resp := g.respNet.Pop(i, c)
-			if resp == nil {
-				break
-			}
-			s.Deliver(resp)
+	if g.workers > 1 {
+		g.startWorkers()
+		g.stepWG.Add(len(g.workCh))
+		for _, ch := range g.workCh {
+			ch <- c
 		}
-		s.Tick(c)
-		// Drain the L1 miss queue into the request network.
+		g.stepWG.Wait()
+	} else {
+		for i := range g.SMs {
+			g.smPhase(i, c)
+		}
+	}
+
+	// Drain each SM's L1 miss queue into the request network, in strict
+	// SM-index order (the injection queues are shared state).
+	for i, s := range g.SMs {
 		if r := s.PeekOutbound(); r != nil && g.reqNet.CanPush(i) {
 			flits := g.ctrlFlits
 			if r.Kind == mem.Store {
@@ -245,38 +372,92 @@ func (g *GPU) Step() {
 	g.cycle++
 }
 
+// smPhase delivers pending memory responses to SM i and ticks it. It
+// touches only SM i's state and is safe to run concurrently with other
+// SMs' phases.
+func (g *GPU) smPhase(i int, c int64) {
+	s := g.SMs[i]
+	for {
+		resp := g.respNet.Pop(i, c)
+		if resp == nil {
+			break
+		}
+		s.Deliver(resp, c)
+	}
+	s.Tick(c)
+}
+
+// startWorkers lazily spins up the persistent worker pool: each worker
+// owns a contiguous SM range and ticks it when signalled with a cycle.
+func (g *GPU) startWorkers() {
+	if g.workersStarted {
+		return
+	}
+	g.workersStarted = true
+	n := len(g.SMs)
+	g.workCh = make([]chan int64, g.workers)
+	for w := 0; w < g.workers; w++ {
+		lo, hi := n*w/g.workers, n*(w+1)/g.workers
+		ch := make(chan int64, 1)
+		g.workCh[w] = ch
+		go func() {
+			for c := range ch {
+				for i := lo; i < hi; i++ {
+					g.smPhase(i, c)
+				}
+				g.stepWG.Done()
+			}
+		}()
+	}
+}
+
+// Close stops the worker pool. It is safe to call multiple times and on
+// a GPU that never started workers; the GPU must not be stepped after.
+// Run closes automatically; callers driving RunCycles themselves should
+// defer Close.
+func (g *GPU) Close() {
+	if !g.workersStarted {
+		return
+	}
+	g.workersStarted = false
+	for _, ch := range g.workCh {
+		close(ch)
+	}
+	g.workCh = nil
+}
+
 func (g *GPU) tickPartition(p int, part *partition, c int64) {
 	// Drain the network into the partition's input buffer (the network
 	// ejection port is wide; the L2 service rate below is what bounds
 	// throughput).
-	for len(part.inQ)-part.inHead < g.cfg.Icnt.QueueDepth*2 {
+	for part.inQ.Len() < g.cfg.Icnt.QueueDepth*2 {
 		r := g.reqNet.Pop(p, c)
 		if r == nil {
 			break
 		}
-		part.inQ = append(part.inQ, r)
+		part.inQ.Push(r)
 	}
 
 	// Service the L2: two accesses per cycle (partitions are internally
 	// banked); a reservation failure stalls the in-order stream.
-	for served := 0; served < 2 && part.inHead < len(part.inQ); served++ {
-		req := part.inQ[part.inHead]
+	for served := 0; served < 2 && !part.inQ.Empty(); served++ {
+		req := part.inQ.Peek()
 		res := part.l2.Access(req)
 		if res.Failed() {
 			break
 		}
-		part.inHead++
-		if part.inHead > 128 && part.inHead*2 > len(part.inQ) {
-			part.inQ = append(part.inQ[:0], part.inQ[part.inHead:]...)
-			part.inHead = 0
-		}
+		part.inQ.Pop()
 		switch res {
 		case cache.Hit:
 			if req.Kind == mem.Load {
-				part.resp = append(part.resp, l2Response{
+				part.resp.Push(l2Response{
 					req:     req,
 					readyAt: c + int64(g.cfg.L2.HitLatency+g.cfg.L2ExtraLat),
 				})
+			} else {
+				// A store absorbed by the write-back L2 retires here:
+				// no response travels up.
+				g.memPool.Release(req)
 			}
 		case cache.Forwarded:
 			// Write-through path is unused for the write-back L2;
@@ -303,27 +484,27 @@ func (g *GPU) tickPartition(p int, part *partition, c int64) {
 	part.ch.Tick(c)
 
 	// DRAM fills complete L2 misses; merged loads produce responses.
+	// The fill request itself (the fetch the L2 sent down) and any
+	// merged store targets retire here.
 	if fill := part.ch.PopResponse(c); fill != nil {
 		targets := part.l2.Fill(fill.LineAddr)
 		for _, t := range targets {
 			if t.Kind == mem.Load {
-				part.resp = append(part.resp, l2Response{req: t, readyAt: c})
+				part.resp.Push(l2Response{req: t, readyAt: c})
+			} else {
+				g.memPool.Release(t)
 			}
 		}
+		g.memPool.Release(fill)
 	}
 
 	// Inject up to two responses per cycle into the response network.
-	for inj := 0; inj < 2 && part.respH < len(part.resp) && part.resp[part.respH].readyAt <= c; inj++ {
-		r := part.resp[part.respH].req
+	for inj := 0; inj < 2 && !part.resp.Empty() && part.resp.Peek().readyAt <= c; inj++ {
 		if !g.respNet.CanPush(p) {
 			break
 		}
+		r := part.resp.Pop().req
 		g.respNet.Push(p, icnt.Packet{Req: r, Dst: r.SM, Flits: g.dataFlits})
-		part.respH++
-		if part.respH > 128 && part.respH*2 > len(part.resp) {
-			part.resp = append(part.resp[:0], part.resp[part.respH:]...)
-			part.respH = 0
-		}
 	}
 }
 
@@ -435,7 +616,7 @@ func (g *GPU) DumpMemState() {
 		}
 		fmt.Printf("part%d: l2 acc=%d miss=%d rsfail=%d mshr=%d missq=%d inQ=%d resp=%d dram: served=%d rowhit=%d q=%d\n",
 			p, acc, miss, rsf, part.l2.MSHRInUse(), part.l2.MissQueueLen(),
-			len(part.inQ)-part.inHead, len(part.resp)-part.respH,
+			part.inQ.Len(), part.resp.Len(),
 			part.ch.Served, part.ch.RowHits, part.ch.QueueLen())
 	}
 	for _, s := range g.SMs {

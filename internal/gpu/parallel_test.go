@@ -1,0 +1,135 @@
+package gpu_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/kern"
+	"repro/internal/sm"
+	"repro/internal/trace"
+)
+
+// parallelWorkload is one determinism scenario: a kernel mix plus the
+// option toggles that exercise different engine paths.
+type parallelWorkload struct {
+	name    string
+	kernels []string
+	cycles  int64
+	full    bool // Trace + Series + Check on
+}
+
+// runWorkload executes the workload with the given worker count and
+// returns the marshalled RunResult plus the rendered trace (empty when
+// tracing is off).
+func runWorkload(t *testing.T, w parallelWorkload, workers int) (string, string) {
+	t.Helper()
+	cfg := tinyCfg()
+	descs := make([]*kern.Desc, 0, len(w.kernels))
+	for _, n := range w.kernels {
+		descs = append(descs, getKernel(t, n))
+	}
+	quota := make([]int, len(descs))
+	for i, d := range descs {
+		q := d.MaxTBsPerSM(&cfg) / len(descs)
+		if q < 1 {
+			q = 1
+		}
+		quota[i] = q
+	}
+	o := &gpu.Options{
+		Cycles:  w.cycles,
+		Quota:   gpu.UniformQuota(cfg.NumSMs, quota),
+		Workers: workers,
+	}
+	if w.full {
+		o.Trace = trace.New(1 << 12)
+		o.Series = true
+		o.Check = gpu.CheckConfig{Enabled: true}
+	}
+	res, err := gpu.Run(cfg, descs, o)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", w.name, workers, err)
+	}
+	js, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr string
+	if o.Trace != nil {
+		tr = trace.Render(o.Trace.Snapshot())
+	}
+	return string(js), tr
+}
+
+// TestParallelStepMatchesSerial is the engine's core determinism
+// contract: for any worker count a run produces byte-identical results
+// — the same stats.RunResult JSON and the same rendered trace — as the
+// serial (Workers=1) run. Three workloads cover single-kernel,
+// concurrent kernel execution, and the fully instrumented path
+// (tracing, time series, invariant watchdog). Run under -race this also
+// proves the SM phase shares no mutable state across workers.
+func TestParallelStepMatchesSerial(t *testing.T) {
+	workloads := []parallelWorkload{
+		{name: "1kernel", kernels: []string{"bp"}, cycles: 6000},
+		{name: "2kernelCKE", kernels: []string{"bp", "sv"}, cycles: 6000},
+		{name: "2kernelCKE-full", kernels: []string{"sv", "cd"}, cycles: 6000, full: true},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			baseJS, baseTr := runWorkload(t, w, 1)
+			for _, workers := range []int{2, 8} {
+				js, tr := runWorkload(t, w, workers)
+				if js != baseJS {
+					t.Errorf("workers=%d: RunResult diverged from serial\nserial:   %s\nparallel: %s", workers, baseJS, js)
+				}
+				if tr != baseTr {
+					t.Errorf("workers=%d: trace diverged from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedPolicyClampsWorkers: a limiter instance shared across SMs
+// (the paper's global DMIL variant) would race if SMs ticked
+// concurrently, so the engine must detect instance sharing and fall
+// back to serial ticking.
+func TestSharedPolicyClampsWorkers(t *testing.T) {
+	cfg := tinyCfg()
+	d := getKernel(t, "sv")
+	shared := core.NewGlobalDMIL(1)
+	g, err := gpu.New(cfg, []*kern.Desc{d}, &gpu.Options{
+		Cycles: 100,
+		Quota:  gpu.UniformQuota(cfg.NumSMs, []int{4}),
+		Policies: gpu.PolicyFactory{
+			Limiter: func(smID, n int) sm.Limiter { return shared },
+		},
+		Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Workers() != 1 {
+		t.Fatalf("Workers() = %d with a shared limiter, want 1", g.Workers())
+	}
+
+	// Per-SM instances must keep the requested parallelism.
+	g2, err := gpu.New(cfg, []*kern.Desc{d}, &gpu.Options{
+		Cycles: 100,
+		Quota:  gpu.UniformQuota(cfg.NumSMs, []int{4}),
+		Policies: gpu.PolicyFactory{
+			Limiter: func(smID, n int) sm.Limiter { return core.NewDMIL(1) },
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if g2.Workers() != 2 {
+		t.Fatalf("Workers() = %d with per-SM limiters, want 2", g2.Workers())
+	}
+}

@@ -15,6 +15,7 @@ package icnt
 import (
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/ring"
 )
 
 // Packet is one message: a memory request or response plus its size.
@@ -34,12 +35,12 @@ type Network struct {
 	cfg      config.Icnt
 	nSrc     int
 	nDst     int
-	outQ     [][]Packet
+	outQ     []ring.Ring[Packet]
 	rr       []int // per-destination round-robin pointer over sources
 	portFree []int64
 	// inQ holds delivered packets per destination; readyAt is monotonic
 	// per destination because each output port serializes transfers.
-	inQ     [][]delivered
+	inQ     []ring.Ring[delivered]
 	inCount []int // packets in flight + queued per destination
 	inCap   int
 
@@ -57,10 +58,10 @@ func New(cfg config.Icnt, nSrc, nDst int) *Network {
 		cfg:      cfg,
 		nSrc:     nSrc,
 		nDst:     nDst,
-		outQ:     make([][]Packet, nSrc),
+		outQ:     make([]ring.Ring[Packet], nSrc),
 		rr:       make([]int, nDst),
 		portFree: make([]int64, nDst),
-		inQ:      make([][]delivered, nDst),
+		inQ:      make([]ring.Ring[delivered], nDst),
 		inCount:  make([]int, nDst),
 		// Packets in flight on the wire count toward the destination,
 		// so the cap must cover the bandwidth-delay product plus the
@@ -72,7 +73,7 @@ func New(cfg config.Icnt, nSrc, nDst int) *Network {
 
 // CanPush reports whether source src can inject another packet.
 func (n *Network) CanPush(src int) bool {
-	return len(n.outQ[src]) < n.cfg.QueueDepth
+	return n.outQ[src].Len() < n.cfg.QueueDepth
 }
 
 // Push injects a packet from src. It returns false when the injection
@@ -81,7 +82,7 @@ func (n *Network) Push(src int, p Packet) bool {
 	if !n.CanPush(src) {
 		return false
 	}
-	n.outQ[src] = append(n.outQ[src], p)
+	n.outQ[src].Push(p)
 	return true
 }
 
@@ -105,18 +106,17 @@ func (n *Network) Tick(cycle int64) {
 			granted := false
 			for i := 0; i < n.nSrc; i++ {
 				src := (start + i) % n.nSrc
-				q := n.outQ[src]
-				if len(q) == 0 || q[0].Dst != dst {
+				q := &n.outQ[src]
+				if q.Empty() || q.Peek().Dst != dst {
 					continue
 				}
-				p := q[0]
+				p := q.Peek()
 				if p.Flits > budget && budget < fpc {
 					// Does not fit in what remains of this cycle;
 					// leave it for the next.
 					continue
 				}
-				copy(q, q[1:])
-				n.outQ[src] = q[:len(q)-1]
+				q.Pop()
 				var readyAt int64
 				if p.Flits <= budget {
 					budget -= p.Flits
@@ -128,7 +128,7 @@ func (n *Network) Tick(cycle int64) {
 					readyAt = cycle + xfer + int64(n.cfg.Latency)
 					budget = 0
 				}
-				n.inQ[dst] = append(n.inQ[dst], delivered{req: p.Req, readyAt: readyAt})
+				n.inQ[dst].Push(delivered{req: p.Req, readyAt: readyAt})
 				n.inCount[dst]++
 				n.TransferredFlits += uint64(p.Flits)
 				n.rr[dst] = (src + 1) % n.nSrc
@@ -145,13 +145,11 @@ func (n *Network) Tick(cycle int64) {
 // Pop returns the next delivered request at destination dst, or nil if
 // none has arrived by cycle.
 func (n *Network) Pop(dst int, cycle int64) *mem.Request {
-	q := n.inQ[dst]
-	if len(q) == 0 || q[0].readyAt > cycle {
+	q := &n.inQ[dst]
+	if q.Empty() || q.Peek().readyAt > cycle {
 		return nil
 	}
-	r := q[0].req
-	copy(q, q[1:])
-	n.inQ[dst] = q[:len(q)-1]
+	r := q.Pop().req
 	n.inCount[dst]--
 	return r
 }

@@ -1,0 +1,113 @@
+package mem
+
+import "testing"
+
+func TestPoolReusesRequests(t *testing.T) {
+	var p Pool
+	r1 := p.Request()
+	r1.LineAddr = 42
+	p.Release(r1)
+	r2 := p.Request()
+	if r2 != r1 {
+		t.Fatal("pool did not reuse the released request")
+	}
+	if r2.LineAddr != 0 || r2.Kernel != 0 || r2.Instr != nil {
+		t.Fatalf("reused request not zeroed: %+v", r2)
+	}
+	if p.ReqReuses != 1 {
+		t.Fatalf("ReqReuses = %d, want 1", p.ReqReuses)
+	}
+}
+
+// TestNoAliasingAfterRecycle is the two-owners test: once a request is
+// released, the releasing owner's retained pointer must read as
+// poisoned — not as the (zeroed or repopulated) state of the next
+// owner. A stale pointer that still looks like a live request is
+// exactly the bug class pooling can introduce; poisoning turns it into
+// an immediately detectable state.
+func TestNoAliasingAfterRecycle(t *testing.T) {
+	var p Pool
+	stale := p.Request()
+	stale.LineAddr = 7
+	stale.Kernel = 1
+	stale.SM = 3
+	tok := &InstrToken{Kernel: 1}
+	stale.Instr = tok
+
+	p.Release(stale)
+	if !stale.Poisoned() {
+		t.Fatalf("released request not poisoned: %+v", stale)
+	}
+	if stale.Instr != nil {
+		t.Fatal("release kept the token reference alive")
+	}
+
+	// Second owner takes the same storage and fills its own state.
+	fresh := p.Request()
+	fresh.LineAddr = 99
+	fresh.Kernel = 0
+
+	// The storage is shared (that is the point of a pool)...
+	if fresh != stale {
+		t.Fatal("expected the pool to hand back the recycled storage")
+	}
+	// ...so the OLD owner's view and the new owner's view are the same
+	// object; the test's contract is that release left no path by which
+	// the old owner's logical request (addr 7, kernel 1, token tok)
+	// is still reachable: the token link was severed and the poison
+	// overwrote the identity fields before reuse.
+	if fresh.Instr == tok {
+		t.Fatal("recycled request still reaches the first owner's token")
+	}
+	if fresh.LineAddr == 7 {
+		t.Fatal("first owner's address survived recycling")
+	}
+}
+
+func TestPoolTokenLifecycle(t *testing.T) {
+	var p Pool
+	tk := p.Token()
+	tk.Total = 4
+	tk.Done = 4
+	tk.Kernel = 2
+	p.ReleaseToken(tk)
+	if tk.Kernel != -1 || tk.SM != -1 {
+		t.Fatalf("released token not poisoned: %+v", tk)
+	}
+	if !tk.Completed() {
+		t.Fatal("poisoned token must remain Completed (no spurious barrier waits)")
+	}
+	tk2 := p.Token()
+	if tk2 != tk {
+		t.Fatal("pool did not reuse the released token")
+	}
+	if tk2.Kernel != 0 || tk2.Total != 0 || tk2.Done != 0 {
+		t.Fatalf("reused token not zeroed: %+v", tk2)
+	}
+}
+
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	r := p.Request()
+	if r == nil {
+		t.Fatal("nil pool must still allocate")
+	}
+	p.Release(r) // must not panic
+	tk := p.Token()
+	if tk == nil {
+		t.Fatal("nil pool must still allocate tokens")
+	}
+	p.ReleaseToken(tk)
+	if p.FreeRequests() != 0 || p.FreeTokens() != 0 {
+		t.Fatal("nil pool reported free-list occupancy")
+	}
+}
+
+func TestReleaseNilIsNoOp(t *testing.T) {
+	var p Pool
+	p.Release(nil)
+	p.ReleaseToken(nil)
+	if p.FreeRequests() != 0 || p.FreeTokens() != 0 {
+		t.Fatal("releasing nil populated the free list")
+	}
+}

@@ -1,0 +1,109 @@
+// Package ring provides the growable FIFO ring buffer used by the
+// simulator's hot queues (L2 partition input/response queues, the SM's
+// completion queue, cache miss queues, interconnect ports).
+//
+// The simulator's queues share one access pattern: push at the tail,
+// pop at the head, occasionally peek, with bursty occupancy. The naive
+// implementations this replaces either copy-shifted the whole slice on
+// every pop (O(n) per element) or tracked a head index and periodically
+// compacted — per-queue ad-hoc code repeated in four packages. A
+// power-of-two ring does both in O(1) with no steady-state allocation:
+// storage is only reallocated when occupancy exceeds every previous
+// high-water mark.
+package ring
+
+// Ring is a growable FIFO queue. The zero value is ready to use. Ring
+// is not safe for concurrent use; in the parallel cycle engine every
+// ring is owned by exactly one goroutine at a time (per-SM state in the
+// parallel phase, memory-side state in the serial phase).
+type Ring[T any] struct {
+	buf  []T // len(buf) is always 0 or a power of two
+	head int
+	n    int
+}
+
+// minCap is the initial allocation; small enough that idle queues cost
+// nothing much, large enough that active queues stop growing quickly.
+const minCap = 16
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Empty reports whether the ring holds no elements.
+func (r *Ring[T]) Empty() bool { return r.n == 0 }
+
+// grow doubles the storage, linearizing the live elements.
+func (r *Ring[T]) grow() {
+	newCap := len(r.buf) * 2
+	if newCap < minCap {
+		newCap = minCap
+	}
+	buf := make([]T, newCap)
+	if r.n > 0 {
+		m := copy(buf, r.buf[r.head:])
+		copy(buf[m:], r.buf[:r.head])
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// Push appends v at the tail.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the head element. It panics on an empty ring;
+// guard with Len or use TryPop.
+func (r *Ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("ring: Pop on empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// TryPop removes and returns the head element, reporting false on an
+// empty ring.
+func (r *Ring[T]) TryPop() (T, bool) {
+	if r.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return r.Pop(), true
+}
+
+// Peek returns the head element without removing it. It panics on an
+// empty ring.
+func (r *Ring[T]) Peek() T {
+	if r.n == 0 {
+		panic("ring: Peek on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// At returns the i-th element from the head (At(0) == Peek). It panics
+// when i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: At out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// Reset discards all elements, keeping the storage. Live references are
+// zeroed so discarded elements do not leak through the backing array.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.head, r.n = 0, 0
+}

@@ -1,0 +1,60 @@
+package ring
+
+import "testing"
+
+// FuzzRing drives a Ring[int] and a plain-slice reference queue with the
+// same operation stream and requires identical observable behaviour.
+// Each input byte encodes one operation: push (with the byte as value),
+// pop, peek, random-access read, or reset.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 0, 4, 5, 0})
+	f.Add([]byte{255, 254})
+	f.Add([]byte{10, 10, 10, 10, 10, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var r Ring[int]
+		var ref []int
+		for i, op := range ops {
+			switch {
+			case op == 0: // pop
+				v, ok := r.TryPop()
+				if ok != (len(ref) > 0) {
+					t.Fatalf("op %d: TryPop ok=%v, reference has %d", i, ok, len(ref))
+				}
+				if ok {
+					if v != ref[0] {
+						t.Fatalf("op %d: Pop = %d, want %d", i, v, ref[0])
+					}
+					ref = ref[1:]
+				}
+			case op == 1 && len(ref) > 0: // peek
+				if r.Peek() != ref[0] {
+					t.Fatalf("op %d: Peek = %d, want %d", i, r.Peek(), ref[0])
+				}
+			case op == 2 && len(ref) > 0: // random-access read
+				idx := i % len(ref)
+				if r.At(idx) != ref[idx] {
+					t.Fatalf("op %d: At(%d) = %d, want %d", i, idx, r.At(idx), ref[idx])
+				}
+			case op == 3: // reset
+				r.Reset()
+				ref = ref[:0]
+			default: // push
+				r.Push(int(op))
+				ref = append(ref, int(op))
+			}
+			if r.Len() != len(ref) {
+				t.Fatalf("op %d: Len = %d, want %d", i, r.Len(), len(ref))
+			}
+		}
+		// Drain and compare the tail.
+		for len(ref) > 0 {
+			if got := r.Pop(); got != ref[0] {
+				t.Fatalf("drain: Pop = %d, want %d", got, ref[0])
+			}
+			ref = ref[1:]
+		}
+		if !r.Empty() {
+			t.Fatal("ring not empty after drain")
+		}
+	})
+}

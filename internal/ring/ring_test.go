@@ -1,0 +1,132 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring not empty after draining")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	// Interleave pushes and pops so head walks around the buffer many
+	// times at low occupancy, exercising the wrap masks.
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if got := r.Pop(); got != expect {
+				t.Fatalf("round %d: Pop = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestGrowPreservesOrder(t *testing.T) {
+	var r Ring[int]
+	// Offset the head, then force growth mid-ring.
+	for i := 0; i < 12; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 12; i++ {
+		r.Pop()
+	}
+	for i := 0; i < 200; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 200; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPeekAndAt(t *testing.T) {
+	var r Ring[string]
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if r.Peek() != "a" {
+		t.Fatalf("Peek = %q", r.Peek())
+	}
+	if r.At(0) != "a" || r.At(1) != "b" || r.At(2) != "c" {
+		t.Fatal("At returned wrong elements")
+	}
+	r.Pop()
+	if r.Peek() != "b" || r.At(1) != "c" {
+		t.Fatal("Peek/At wrong after Pop")
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	var r Ring[int]
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty ring reported ok")
+	}
+	r.Push(7)
+	v, ok := r.TryPop()
+	if !ok || v != 7 {
+		t.Fatalf("TryPop = %d,%v", v, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Ring[*int]
+	x := 1
+	for i := 0; i < 10; i++ {
+		r.Push(&x)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	// Backing array must not retain the old pointers.
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("Reset leaked a reference in the backing array")
+		}
+	}
+	r.Push(&x)
+	if r.Pop() != &x {
+		t.Fatal("ring unusable after Reset")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty ring did not panic")
+		}
+	}()
+	var r Ring[int]
+	r.Pop()
+}
+
+func TestPopZeroesSlot(t *testing.T) {
+	var r Ring[*int]
+	x := 42
+	r.Push(&x)
+	r.Pop()
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("Pop left a live reference in the backing array")
+		}
+	}
+}

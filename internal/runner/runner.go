@@ -128,6 +128,12 @@ type Runner struct {
 	// runner derives (jobs with a nil Session). Set it before the first
 	// Run; explicit job sessions keep their own Check setting.
 	Check bool
+	// EngineWorkers is the cycle engine's intra-run SM-tick fan-out for
+	// sessions the runner derives (gcke.Session.Workers). Leave 0 to
+	// let the engine default to GOMAXPROCS; set 1 when the runner's own
+	// job-level pool already saturates the machine, so jobs do not
+	// oversubscribe cores. Set it before the first Run.
+	EngineWorkers int
 
 	mu       sync.Mutex
 	sessions map[string]*gcke.Session // derived sessions, deduplicated
@@ -164,6 +170,7 @@ func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) (*gcke.Se
 		s = gcke.NewSession(cfg, cycles)
 		s.ProfileCycles = profileCycles
 		s.Check = r.Check
+		s.Workers = r.EngineWorkers
 		r.sessions[key] = s
 	}
 	return s, nil

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,12 @@ type Config struct {
 	// Check enables the per-cycle invariant watchdog on every derived
 	// session.
 	Check bool
+	// EngineWorkers is the cycle engine's intra-run SM-tick fan-out for
+	// each executing job. The worker budget is shared with the job-level
+	// pool: when 0, it defaults to GOMAXPROCS/Workers (min 1), so
+	// Workers slots x EngineWorkers goroutines never oversubscribe the
+	// machine. Results are byte-identical for any value.
+	EngineWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.EngineWorkers < 1 {
+			c.EngineWorkers = 1
+		}
+	}
 	return c
 }
 
@@ -129,6 +142,13 @@ type Server struct {
 	retries   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+
+	// Aggregate engine-performance gauges over executed (non-replayed)
+	// successful attempts: simulated cycles, wall-clock nanoseconds and
+	// heap allocations. /statz derives cycles/sec and allocs/cycle.
+	simCycles atomic.Int64
+	simNanos  atomic.Int64
+	simAllocs atomic.Int64
 }
 
 // New assembles a server from cfg.
@@ -138,6 +158,7 @@ func New(cfg Config) *Server {
 	r.Timeout = cfg.JobTimeout
 	r.Journal = cfg.Journal
 	r.Check = cfg.Check
+	r.EngineWorkers = cfg.EngineWorkers
 	if cfg.Chaos != nil {
 		r.Fault = cfg.Chaos.JobFault
 		if cfg.Journal != nil {
@@ -156,6 +177,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -335,8 +361,21 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 	attempts := 0
 	for {
 		attempts++
+		start := time.Now()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		res := s.run.Run(ctx, []runner.Job{job})[0]
 		if res.Err == nil {
+			if !res.Replayed {
+				// Engine-performance gauges: concurrent jobs share the
+				// process heap, so allocs/cycle is an aggregate
+				// service-level signal, not a per-job microbenchmark.
+				var m1 runtime.MemStats
+				runtime.ReadMemStats(&m1)
+				s.simCycles.Add(job.Cycles)
+				s.simNanos.Add(time.Since(start).Nanoseconds())
+				s.simAllocs.Add(int64(m1.Mallocs - m0.Mallocs))
+			}
 			s.brk.success(key)
 			s.completed.Add(1)
 			return res, attempts
@@ -552,6 +591,12 @@ type Stats struct {
 	BreakerOpen int   `json:"breaker_open"`
 	Draining    bool  `json:"draining"`
 	JournalLen  int   `json:"journal_len,omitempty"`
+	// EngineWorkers is the resolved per-job SM-tick fan-out.
+	EngineWorkers int `json:"engine_workers"`
+	// CyclesPerSec and AllocsPerCycle aggregate over executed
+	// (non-replayed) successful jobs since the server started.
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
 // StatsSnapshot returns current counters (also served at /statz).
@@ -566,6 +611,14 @@ func (s *Server) StatsSnapshot() Stats {
 		Queued:      s.queued.Load(),
 		BreakerOpen: s.brk.openCount(),
 		Draining:    s.drainng.Load(),
+
+		EngineWorkers: s.cfg.EngineWorkers,
+	}
+	if ns := s.simNanos.Load(); ns > 0 {
+		st.CyclesPerSec = float64(s.simCycles.Load()) / (float64(ns) / 1e9)
+	}
+	if cyc := s.simCycles.Load(); cyc > 0 {
+		st.AllocsPerCycle = float64(s.simAllocs.Load()) / float64(cyc)
 	}
 	if s.cfg.Journal != nil {
 		st.JournalLen = s.cfg.Journal.Len()

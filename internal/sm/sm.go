@@ -21,6 +21,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/kern"
 	"repro/internal/mem"
+	"repro/internal/ring"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -127,8 +128,18 @@ type SM struct {
 	lsuReqs []*mem.Request
 	lsuIdx  int
 
-	compQ    []compEntry
-	compHead int
+	compQ ring.Ring[compEntry]
+
+	// now is the cycle of the most recent Tick/Deliver, used to stamp
+	// trace events emitted from retirement paths that have no cycle
+	// argument of their own (TB completion, line fills).
+	now int64
+
+	// Pool, when non-nil, supplies this SM's requests and instruction
+	// tokens and receives them back at retirement. Owned exclusively by
+	// this SM (each SM gets its own pool so the parallel phase needs no
+	// locks); the GPU sets it and shares it with the SM's L1.
+	Pool *mem.Pool
 
 	// smemBusyUntil serializes the banked shared memory: a conflicted
 	// access occupies the unit for multiple cycles.
@@ -279,6 +290,7 @@ func (s *SM) Inflight(k int) int { return s.inflight[k] }
 // Tick advances the SM one cycle. Memory responses must have been
 // delivered (Deliver) before the owner calls Tick for the cycle.
 func (s *SM) Tick(cycle int64) {
+	s.now = cycle
 	s.gate.Tick(cycle)
 	s.limiter.Tick(cycle)
 	s.drainCompletions(cycle)
@@ -293,14 +305,8 @@ func (s *SM) Tick(cycle int64) {
 
 // drainCompletions finishes L1-hit loads whose latency elapsed.
 func (s *SM) drainCompletions(cycle int64) {
-	for s.compHead < len(s.compQ) && s.compQ[s.compHead].at <= cycle {
-		t := s.compQ[s.compHead].token
-		s.compHead++
-		s.onReqDone(t)
-	}
-	if s.compHead > 256 && s.compHead*2 > len(s.compQ) {
-		s.compQ = append(s.compQ[:0], s.compQ[s.compHead:]...)
-		s.compHead = 0
+	for !s.compQ.Empty() && s.compQ.Peek().at <= cycle {
+		s.onReqDone(s.compQ.Pop().token)
 	}
 }
 
@@ -312,6 +318,10 @@ func (s *SM) onReqDone(t *mem.InstrToken) {
 	s.limiter.NoteInflight(t.Kernel, s.inflight[t.Kernel])
 	if t.Completed() {
 		s.onTokenDone(t)
+		// Every request of the instruction has retired, so nothing live
+		// references the token anymore (retiring paths sever or release
+		// their Instr pointers).
+		s.Pool.ReleaseToken(t)
 	}
 }
 
@@ -427,7 +437,7 @@ func (s *SM) finalizeWarp(slotW int) {
 		tb.active = false
 		s.K[k].TBsDone++
 		if s.Trace != nil {
-			s.Trace.Add(trace.Event{Kind: trace.TBDone, SM: int8(s.ID), Kernel: tb.kernel, Arg: uint64(w.TB)})
+			s.Trace.Add(trace.Event{Cycle: s.now, Kind: trace.TBDone, SM: int8(s.ID), Kernel: tb.kernel, Arg: uint64(w.TB)})
 		}
 	}
 }
@@ -547,22 +557,21 @@ func (s *SM) issueMem(cycle int64) int {
 	if kind == mem.Load {
 		barrier = w.IssuedInstrs + uint64(d.DepDist)
 	}
-	token := &mem.InstrToken{
-		Kernel: k, SM: s.ID, Warp: slotW, Kind: kind,
-		Total: nreq, BarrierIdx: barrier, WarpGen: w.Gen,
-	}
+	token := s.Pool.Token()
+	token.Kernel, token.SM, token.Warp, token.Kind = k, s.ID, slotW, kind
+	token.Total, token.BarrierIdx, token.WarpGen = nreq, barrier, w.Gen
 	s.lsuReqs = s.lsuReqs[:0]
 	s.lsuIdx = 0
 	for i := 0; i < nreq; i++ {
-		s.lsuReqs = append(s.lsuReqs, &mem.Request{
-			LineAddr:   s.space.LineOf(k, s.lineBuf[i]),
-			Kind:       kind,
-			Kernel:     k,
-			SM:         s.ID,
-			Warp:       slotW,
-			Instr:      token,
-			IssueCycle: cycle,
-		})
+		r := s.Pool.Request()
+		r.LineAddr = s.space.LineOf(k, s.lineBuf[i])
+		r.Kind = kind
+		r.Kernel = k
+		r.SM = s.ID
+		r.Warp = slotW
+		r.Instr = token
+		r.IssueCycle = cycle
+		s.lsuReqs = append(s.lsuReqs, r)
 	}
 	if kind == mem.Load {
 		w.outBarriers[w.outN] = barrier
@@ -758,14 +767,21 @@ func (s *SM) lsuTick(cycle int64) {
 	}
 	switch res {
 	case cache.Hit:
+		// The cache kept nothing: the request retires here.
 		if req.Kind == mem.Load {
-			s.compQ = append(s.compQ, compEntry{token: req.Instr, at: cycle + int64(s.cfg.L1D.HitLatency)})
+			s.compQ.Push(compEntry{token: req.Instr, at: cycle + int64(s.cfg.L1D.HitLatency)})
 		} else {
 			s.onReqDone(req.Instr)
 		}
+		s.Pool.Release(req)
 	case cache.Forwarded:
-		// Stores complete at forward; the write travels below on its own.
-		s.onReqDone(req.Instr)
+		// Stores complete at forward; the write travels below on its
+		// own. Sever the token link first — the token may be recycled
+		// while the store is still in flight, and stores never come
+		// back up to dereference it.
+		token := req.Instr
+		req.Instr = nil
+		s.onReqDone(token)
 	case cache.Miss, cache.HitPending, cache.Bypassed:
 		// Completion arrives with the fill (or, for a bypassed load,
 		// with the response addressed straight to this instruction).
@@ -773,24 +789,28 @@ func (s *SM) lsuTick(cycle int64) {
 }
 
 // Deliver accepts one memory response (a filled line) from the
-// interconnect and completes the merged loads.
-func (s *SM) Deliver(resp *mem.Request) {
+// interconnect and completes the merged loads. cycle is the cycle the
+// response is delivered in (the SM may not have Ticked yet this cycle).
+func (s *SM) Deliver(resp *mem.Request, cycle int64) {
+	s.now = cycle
 	if resp.Instr != nil {
 		// A bypassed load: the response answers the original request
-		// directly, with no line to fill.
+		// directly, with no line to fill; the request retires here.
 		s.onReqDone(resp.Instr)
+		s.Pool.Release(resp)
 		return
 	}
 	if s.Trace != nil {
-		s.Trace.Add(trace.Event{Kind: trace.Fill, SM: int8(s.ID), Kernel: int8(resp.Kernel), Arg: resp.LineAddr})
+		s.Trace.Add(trace.Event{Cycle: cycle, Kind: trace.Fill, SM: int8(s.ID), Kernel: int8(resp.Kernel), Arg: resp.LineAddr})
 	}
 	targets := s.L1.Fill(resp.LineAddr)
 	for _, t := range targets {
-		if t.Instr == nil {
-			continue
+		if t.Instr != nil {
+			s.onReqDone(t.Instr)
 		}
-		s.onReqDone(t.Instr)
+		s.Pool.Release(t)
 	}
+	s.Pool.Release(resp)
 }
 
 // PeekOutbound returns the next request destined for the memory

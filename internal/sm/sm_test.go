@@ -73,7 +73,7 @@ func (p *perfectMem) tick(s *SM, cycle int64) {
 	keep := p.pending[:0]
 	for _, e := range p.pending {
 		if e.at <= cycle {
-			s.Deliver(e.req)
+			s.Deliver(e.req, cycle)
 		} else {
 			keep = append(keep, e)
 		}

@@ -68,13 +68,51 @@ func (e Event) String() string {
 		e.Cycle, e.SM, e.Kernel, e.Warp, e.Kind, e.Arg)
 }
 
-// Buffer is a ring of the most recent events. The zero value is unusable;
-// create with New. Buffer is not safe for concurrent use (the simulator
-// is single-threaded).
-type Buffer struct {
+// ringBuf is the fixed-capacity event ring shared by the flat buffer
+// and its per-SM shards.
+type ringBuf struct {
 	ring  []Event
 	next  int
 	total uint64
+}
+
+func (r *ringBuf) add(e Event) {
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.total++
+}
+
+func (r *ringBuf) snapshot() []Event {
+	if len(r.ring) < cap(r.ring) {
+		out := make([]Event, len(r.ring))
+		copy(out, r.ring)
+		return out
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Buffer is a ring of the most recent events. The zero value is unusable;
+// create with New.
+//
+// A Buffer starts flat (one ring, single-writer). The parallel cycle
+// engine calls EnsureShards(numSMs) so that each SM appends to a
+// private shard during the concurrent phase — Add routes by Event.SM,
+// touching only per-shard state, so concurrent Adds from different SMs
+// do not race. Readers (Snapshot, Filter, Total, CountByKind) merge the
+// shards by (Cycle, SM) and must not run concurrently with writers; the
+// engine only reads between steps. Sharding is used for Workers=1 runs
+// too, so serial and parallel runs retain and order events identically.
+type Buffer struct {
+	ringBuf            // events Added before sharding (or with out-of-range SM)
+	capacity int       // requested retention, divided among shards
+	shards   []ringBuf // one per SM once EnsureShards is called
 }
 
 // New creates a buffer retaining the last capacity events.
@@ -82,33 +120,102 @@ func New(capacity int) *Buffer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Buffer{ring: make([]Event, 0, capacity)}
+	return &Buffer{
+		ringBuf:  ringBuf{ring: make([]Event, 0, capacity)},
+		capacity: capacity,
+	}
 }
 
-// Add appends an event, evicting the oldest when full.
-func (b *Buffer) Add(e Event) {
-	if len(b.ring) < cap(b.ring) {
-		b.ring = append(b.ring, e)
-	} else {
-		b.ring[b.next] = e
+// EnsureShards splits the buffer into n per-SM shards (idempotent for
+// the same n). Each shard retains capacity/n events, so total retention
+// is unchanged; per-SM retention becomes independent of other SMs'
+// event rates, which is what makes retention deterministic when SMs
+// tick concurrently.
+func (b *Buffer) EnsureShards(n int) {
+	if n <= 0 || len(b.shards) == n {
+		return
 	}
-	b.next = (b.next + 1) % cap(b.ring)
-	b.total++
+	per := b.capacity / n
+	if per < 1 {
+		per = 1
+	}
+	b.shards = make([]ringBuf, n)
+	for i := range b.shards {
+		b.shards[i].ring = make([]Event, 0, per)
+	}
+}
+
+// Add appends an event, evicting the oldest when full. On a sharded
+// buffer the event goes to its SM's shard; events whose SM is out of
+// shard range (or recorded before sharding) stay in the flat ring.
+func (b *Buffer) Add(e Event) {
+	if i := int(e.SM); i >= 0 && i < len(b.shards) {
+		b.shards[i].add(e)
+		return
+	}
+	b.ringBuf.add(e)
 }
 
 // Total reports how many events were ever recorded.
-func (b *Buffer) Total() uint64 { return b.total }
-
-// Snapshot returns the retained events, oldest first.
-func (b *Buffer) Snapshot() []Event {
-	if len(b.ring) < cap(b.ring) {
-		out := make([]Event, len(b.ring))
-		copy(out, b.ring)
-		return out
+func (b *Buffer) Total() uint64 {
+	t := b.total
+	for i := range b.shards {
+		t += b.shards[i].total
 	}
-	out := make([]Event, 0, len(b.ring))
-	out = append(out, b.ring[b.next:]...)
-	out = append(out, b.ring[:b.next]...)
+	return t
+}
+
+// Snapshot returns the retained events, oldest first: ordered by Cycle,
+// ties broken by SM, with per-SM insertion order preserved. On a flat
+// buffer this is plain insertion order.
+func (b *Buffer) Snapshot() []Event {
+	if len(b.shards) == 0 {
+		return b.ringBuf.snapshot()
+	}
+	lists := make([][]Event, 0, len(b.shards)+1)
+	if s := b.ringBuf.snapshot(); len(s) > 0 {
+		lists = append(lists, s)
+	}
+	for i := range b.shards {
+		if s := b.shards[i].snapshot(); len(s) > 0 {
+			lists = append(lists, s)
+		}
+	}
+	if len(lists) == 1 {
+		return lists[0]
+	}
+	return mergeByCycleSM(lists)
+}
+
+// mergeByCycleSM k-way merges per-shard event lists. Each list is
+// nondecreasing in Cycle (SMs stamp events with their current cycle),
+// so a head-comparison merge yields a total order by (Cycle, SM) while
+// keeping each shard's insertion order for equal keys.
+func mergeByCycleSM(lists [][]Event) []Event {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	out := make([]Event, 0, n)
+	idx := make([]int, len(lists))
+	for len(out) < n {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			h, bh := l[idx[i]], lists[best][idx[best]]
+			if h.Cycle < bh.Cycle || (h.Cycle == bh.Cycle && h.SM < bh.SM) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
 	return out
 }
 

@@ -36,6 +36,11 @@ type Session struct {
 	// every run started through this session (evaluation and profiling
 	// alike). Set it before sharing the Session.
 	Check bool
+	// Workers sets the cycle engine's intra-run parallelism (per-cycle
+	// SM tick fan-out) for every run started through this session. 0
+	// defaults to GOMAXPROCS; results are byte-identical for any value.
+	// Set it before sharing the Session.
+	Workers int
 
 	mu       sync.Mutex                  // guards the three caches below
 	isoIPC   map[string]map[int]float64  // name -> TBs -> IPC
@@ -165,6 +170,7 @@ func (s *Session) runIsolatedTBs(ctx context.Context, d Kernel, tbs int, series 
 		Series:    series,
 		Interrupt: interruptOf(ctx),
 		Check:     gpu.CheckConfig{Enabled: s.Check},
+		Workers:   s.Workers,
 	}
 	if series {
 		opts.Cycles = s.cycles
@@ -362,6 +368,7 @@ func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme
 		Series:    scheme.Series,
 		Interrupt: interruptOf(ctx),
 		Check:     gpu.CheckConfig{Enabled: s.Check},
+		Workers:   s.Workers,
 	}
 	var hooks []func(*gpu.GPU, int64)
 	if dynws != nil {
