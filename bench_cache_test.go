@@ -1,0 +1,134 @@
+// Result-cache and warmup-fork benchmarks: how much a repeated job
+// saves against cold simulation, and how much a sweep family sharing
+// one warmup prefix saves by forking a warmed engine snapshot instead
+// of re-simulating the prefix per member.
+//
+// results/BENCH_cache.json records the measured numbers; CI runs the
+// suite with -benchtime=1x as a smoke test. Run with
+//
+//	go test -run '^$' -bench 'BenchmarkResultCache|BenchmarkWarmupFork' -benchmem
+package gcke_test
+
+import (
+	"context"
+	"testing"
+
+	gcke "repro"
+	"repro/internal/resultcache"
+	"repro/internal/runner"
+)
+
+// cacheBenchSession builds a session with profiles prewarmed, so the
+// benchmarks time simulation (or its absence), not profile runs.
+func cacheBenchSession(b *testing.B, kernels []gcke.Kernel, cycles int64) *gcke.Session {
+	b.Helper()
+	s := gcke.NewSession(gcke.ScaledConfig(2), cycles)
+	s.ProfileCycles = 10_000
+	for _, d := range kernels {
+		if _, err := s.RunIsolated(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func cacheBenchKernels(b *testing.B) []gcke.Kernel {
+	b.Helper()
+	bp, err := gcke.Benchmark("bp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv, err := gcke.Benchmark("sv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []gcke.Kernel{bp, sv}
+}
+
+// BenchmarkResultCache measures one job cold (simulated every
+// iteration) and warm (served from the content-addressed result cache).
+// The ratio is the cache's speedup for repeated points.
+func BenchmarkResultCache(b *testing.B) {
+	const cycles = 15_000
+	ds := cacheBenchKernels(b)
+	job := func(s *gcke.Session) runner.Job {
+		return runner.Job{
+			Session: s, Kernels: ds,
+			Scheme: gcke.Scheme{
+				Partition: gcke.PartitionEven, Limiting: gcke.LimitDMIL,
+			},
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		s := cacheBenchSession(b, ds, cycles)
+		j := job(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runner.FirstErr(runner.New(1).Run(context.Background(), []runner.Job{j})); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := cacheBenchSession(b, ds, cycles)
+		c, err := resultcache.Open(resultcache.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := runner.New(1)
+		r.Cache = c
+		j := job(s)
+		// Populate: the first run simulates and stores.
+		if err := runner.FirstErr(r.Run(context.Background(), []runner.Job{j})); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := r.Run(context.Background(), []runner.Job{j})
+			if err := runner.FirstErr(res); err != nil {
+				b.Fatal(err)
+			}
+			if !res[0].Cached {
+				b.Fatal("warm iteration was not a cache hit")
+			}
+		}
+	})
+}
+
+// BenchmarkWarmupFork measures a three-scheme family whose members
+// share a 20k-cycle warmup prefix, unforked (every member simulates its
+// own warmup) vs forked (the family's prefix is simulated once,
+// members restore the warmed snapshot). Results are byte-identical;
+// only the wall-clock differs.
+func BenchmarkWarmupFork(b *testing.B) {
+	const cycles, warmup = 40_000, 20_000
+	ds := cacheBenchKernels(b)
+	schemes := []gcke.Scheme{
+		{Partition: gcke.PartitionEven, Warmup: warmup},
+		{Partition: gcke.PartitionEven, Limiting: gcke.LimitDMIL, Warmup: warmup},
+		{Partition: gcke.PartitionEven, MemIssue: gcke.MemIssueQBMI, Warmup: warmup},
+	}
+	family := func(b *testing.B, s *gcke.Session) {
+		b.Helper()
+		for _, sc := range schemes {
+			if _, err := s.RunWorkload(ds, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unforked", func(b *testing.B) {
+		s := cacheBenchSession(b, ds, cycles)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			family(b, s)
+		}
+	})
+	b.Run("forked", func(b *testing.B) {
+		s := cacheBenchSession(b, ds, cycles)
+		s.ForkWarmup = true
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			family(b, s)
+		}
+	})
+}

@@ -21,6 +21,7 @@ func main() {
 	sms := flag.Int("sms", 4, "SMs")
 	cycles := flag.Int64("cycles", 300_000, "evaluation cycles")
 	profCycles := flag.Int64("profile-cycles", 60_000, "profiling cycles")
+	warmup := flag.Int64("warmup", 0, "unmanaged warmup cycles per scheme (schemes sharing a partition form one warmup family; see -fork-warmup)")
 	pair := flag.String("pair", "bp,sv", "kernel pair")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	rb := cli.AddFlags(flag.CommandLine)
@@ -42,6 +43,7 @@ func main() {
 	session.ProfileCycles = *profCycles
 	session.Check = rb.Check
 	session.Workers = prof.Workers
+	session.ForkWarmup = rb.ForkWarmup
 
 	names := strings.Split(*pair, ",")
 	var ds []gcke.Kernel
@@ -65,8 +67,9 @@ func main() {
 		{Partition: gcke.PartitionSMK, Limiting: gcke.LimitDMIL},
 	}
 	jobs := make([]runner.Job, len(schemes))
-	for i, sc := range schemes {
-		jobs[i] = runner.Job{Session: session, Kernels: ds, Scheme: sc}
+	for i := range schemes {
+		schemes[i].Warmup = *warmup
+		jobs[i] = runner.Job{Session: session, Kernels: ds, Scheme: schemes[i]}
 	}
 	jnl, err := rb.OpenJournal(log.Printf)
 	if err != nil {
@@ -75,8 +78,15 @@ func main() {
 	if jnl != nil {
 		defer jnl.Close()
 	}
+	rcache, err := rb.OpenCache(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rcache != nil {
+		defer rcache.Close()
+	}
 	r := runner.New(*parallel)
-	rb.Apply(r, jnl)
+	rb.Apply(r, jnl, rcache)
 	results := r.Run(ctx, jobs)
 	failed, err := rb.Failures(log.Printf, results)
 	if err != nil {

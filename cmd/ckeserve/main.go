@@ -17,12 +17,15 @@ import (
 	"context"
 	"flag"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/journal"
+	"repro/internal/resultcache"
 	"repro/internal/server"
 )
 
@@ -36,6 +39,9 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-attempt wall-clock bound, e.g. 90s or 10m (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Minute, "how long SIGTERM waits for in-flight jobs before giving up")
 	journalPath := flag.String("journal", "", "checkpoint journal path; completed jobs are replayed instead of re-simulated (empty = disabled)")
+	cacheOn := flag.Bool("cache", false, "serve repeated job fingerprints from the content-addressed result cache")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache to <dir>/results.jsonl across restarts (implies -cache)")
+	forkWarmup := flag.Bool("fork-warmup", false, "fork jobs sharing a warmup family from one warmed engine snapshot (needs scheme Warmup cycles)")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
 	engineWorkers := flag.Int("engine-workers", 0, "SM-tick goroutines per executing job (0 = GOMAXPROCS/slots; results are identical)")
 	breakerN := flag.Int("breaker-threshold", 3, "invariant violations per job fingerprint before its circuit opens")
@@ -53,6 +59,24 @@ func main() {
 		BreakerCooldown:  *breakerCool,
 		Check:            *check,
 		EngineWorkers:    *engineWorkers,
+		ForkWarmup:       *forkWarmup,
+	}
+	if *cacheOn || *cacheDir != "" {
+		var copts resultcache.Options
+		if *cacheDir != "" {
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			copts.Path = filepath.Join(*cacheDir, "results.jsonl")
+		}
+		c, err := resultcache.Open(copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Cache = c
+		if n := c.Len(); n > 0 {
+			log.Printf("result cache %s: %d cached job(s) will serve without simulating", copts.Path, n)
+		}
 	}
 	if *chaosSpec != "" {
 		ccfg, err := chaos.Parse(*chaosSpec)

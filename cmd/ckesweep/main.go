@@ -25,6 +25,7 @@ func main() {
 	cycles := flag.Int64("cycles", 150_000, "cycles per point")
 	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	warmup := flag.Int64("warmup", 0, "unmanaged warmup cycles per point (grid points share one warmup family; see -fork-warmup)")
 	rb := cli.AddFlags(flag.CommandLine)
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -44,6 +45,7 @@ func main() {
 	s.ProfileCycles = 60_000
 	s.Check = rb.Check
 	s.Workers = prof.Workers
+	s.ForkWarmup = rb.ForkWarmup
 
 	var ds []gcke.Kernel
 	for _, n := range strings.Split(*pair, ",") {
@@ -69,9 +71,17 @@ func main() {
 					Partition:    gcke.PartitionWarpedSlicer,
 					Limiting:     gcke.LimitStatic,
 					StaticLimits: []int{l0, l1},
+					Warmup:       *warmup,
 				},
 			})
 		}
+	}
+	unique, expand, err := dedupeJobs(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := len(jobs) - len(unique); n > 0 {
+		log.Printf("collapsed %d duplicate grid point(s): %d unique of %d submitted", n, len(unique), len(jobs))
 	}
 	jnl, err := rb.OpenJournal(log.Printf)
 	if err != nil {
@@ -80,9 +90,16 @@ func main() {
 	if jnl != nil {
 		defer jnl.Close()
 	}
+	rcache, err := rb.OpenCache(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rcache != nil {
+		defer rcache.Close()
+	}
 	r := runner.New(*parallel)
-	rb.Apply(r, jnl)
-	results := r.Run(ctx, jobs)
+	rb.Apply(r, jnl, rcache)
+	results := expand(r.Run(ctx, unique))
 	failed, err := rb.Failures(log.Printf, results)
 	if err != nil {
 		log.Fatal(err)
@@ -124,6 +141,39 @@ func main() {
 		log.Print(cli.FailureSummary(results))
 		os.Exit(1)
 	}
+}
+
+// dedupeJobs collapses jobs with identical fingerprints (runner.Job.Key)
+// at parse time, before any simulation: a grid spec like "2,2,4" submits
+// duplicate points, and the engine is deterministic, so simulating a
+// fingerprint once is enough. It returns the unique jobs in
+// first-appearance order and an expand function mapping the unique
+// results back onto the original grid shape.
+func dedupeJobs(jobs []runner.Job) ([]runner.Job, func([]runner.Result) []runner.Result, error) {
+	var unique []runner.Job
+	firstOf := make(map[string]int) // fingerprint -> index in unique
+	slot := make([]int, len(jobs))  // original index -> index in unique
+	for i := range jobs {
+		key, err := jobs[i].Key()
+		if err != nil {
+			return nil, nil, err
+		}
+		u, ok := firstOf[key]
+		if !ok {
+			u = len(unique)
+			firstOf[key] = u
+			unique = append(unique, jobs[i])
+		}
+		slot[i] = u
+	}
+	expand := func(res []runner.Result) []runner.Result {
+		out := make([]runner.Result, len(slot))
+		for i, u := range slot {
+			out[i] = res[u]
+		}
+		return out
+	}
+	return unique, expand, nil
 }
 
 // parseGrid parses the comma-separated limit list, rejecting anything

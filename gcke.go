@@ -199,6 +199,15 @@ type Scheme struct {
 	TBThrottle bool
 	// Series enables 1 K-cycle time-series collection.
 	Series bool
+	// Warmup splits the run into an unmanaged warmup prefix of this
+	// many cycles (no issue policies, UCP or bypass — caches and TB
+	// occupancy fill under the baseline arbiter) followed by a managed
+	// leg for the remaining cycles with the scheme's mechanisms
+	// installed. Runs sharing (config, kernels, partition, warmup
+	// length) form a warmup family: with Session.ForkWarmup the shared
+	// prefix is simulated once, snapshotted, and each family member is
+	// forked from the warmed snapshot. 0 disables (single managed run).
+	Warmup int64
 }
 
 // Validate rejects scheme combinations the paper never evaluates and
@@ -223,6 +232,9 @@ func (s Scheme) Validate(nKernels int) error {
 	}
 	if s.TBThrottle && (s.Partition == PartitionSpatial || s.Partition == PartitionWarpedSlicerDyn) {
 		return fmt.Errorf("gcke: TBThrottle needs a uniform TB partition (not spatial/dynamic)")
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("gcke: Warmup must be non-negative, got %d", s.Warmup)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 // Package chaos is a deterministic fault injector for the service and
 // sweep pipelines: it forces worker panics, artificial hangs, journal
-// write errors and invariant-watchdog violations so every degradation
+// and result-cache write errors and invariant-watchdog violations so
+// every degradation
 // path (retry, deadline kill, circuit breaker, journal rollback) has a
 // failing-then-recovering test instead of an untested error branch.
 //
@@ -42,6 +43,10 @@ const (
 	// *sm.InvariantError (exercises the circuit breaker: retrying a
 	// deterministic violation is futile, so the service must shed).
 	KindInvariant Kind = "invariant"
+	// KindCache fails the result cache's persistence write (exercises
+	// the cache's pass-through degradation: the job must still succeed,
+	// only the entry's durability is lost).
+	KindCache Kind = "cache"
 	// KindNone means the key was not selected for any fault.
 	KindNone Kind = "none"
 )
@@ -57,6 +62,7 @@ type Config struct {
 	HangProb      float64
 	JournalProb   float64
 	InvariantProb float64
+	CacheProb     float64
 	// Hang is how long a hang fault blocks before giving up and
 	// proceeding (it normally loses to the job deadline; the bound keeps
 	// an undeadlined dev run from blocking forever). 0 means 30s.
@@ -69,7 +75,8 @@ type Config struct {
 
 // Enabled reports whether any fault class has a non-zero probability.
 func (c Config) Enabled() bool {
-	return c.PanicProb > 0 || c.HangProb > 0 || c.JournalProb > 0 || c.InvariantProb > 0
+	return c.PanicProb > 0 || c.HangProb > 0 || c.JournalProb > 0 ||
+		c.InvariantProb > 0 || c.CacheProb > 0
 }
 
 // Injector injects faults per Config. It is safe for concurrent use.
@@ -110,6 +117,7 @@ func (inj *Injector) Plan(key string) Kind {
 		{inj.cfg.HangProb, KindHang},
 		{inj.cfg.JournalProb, KindJournal},
 		{inj.cfg.InvariantProb, KindInvariant},
+		{inj.cfg.CacheProb, KindCache},
 	} {
 		if r < c.p {
 			return c.k
@@ -190,9 +198,21 @@ func (inj *Injector) JournalFault(op, key string) error {
 	return fmt.Errorf("chaos: injected journal %s error for %s", op, key)
 }
 
+// CacheFault is the resultcache.Store.FaultHook seam: it fails the
+// write or sync step of a cache persist for keys planned KindCache.
+func (inj *Injector) CacheFault(op, key string) error {
+	if inj.Plan(key) != KindCache {
+		return nil
+	}
+	if !inj.spend(key, KindCache) {
+		return nil
+	}
+	return fmt.Errorf("chaos: injected cache %s error for %s", op, key)
+}
+
 // Parse decodes a -chaos flag spec: comma-separated key=value pairs with
-// keys panic, hang, journal, invariant (probabilities in [0,1]), seed
-// (uint64), failures (int) and hangdur (Go duration). Example:
+// keys panic, hang, journal, invariant, cache (probabilities in [0,1]),
+// seed (uint64), failures (int) and hangdur (Go duration). Example:
 //
 //	panic=0.5,hang=0.2,seed=42,failures=1,hangdur=2s
 //
@@ -210,7 +230,7 @@ func Parse(spec string) (Config, error) {
 		}
 		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
 		switch k {
-		case "panic", "hang", "journal", "invariant":
+		case "panic", "hang", "journal", "invariant", "cache":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
 				return Config{}, fmt.Errorf("chaos: %s=%q: want a probability in [0,1]", k, v)
@@ -224,6 +244,8 @@ func Parse(spec string) (Config, error) {
 				cfg.JournalProb = p
 			case "invariant":
 				cfg.InvariantProb = p
+			case "cache":
+				cfg.CacheProb = p
 			}
 		case "seed":
 			s, err := strconv.ParseUint(v, 10, 64)
@@ -244,7 +266,7 @@ func Parse(spec string) (Config, error) {
 			}
 			cfg.Hang = d
 		default:
-			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, seed, failures or hangdur)", k)
+			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, cache, seed, failures or hangdur)", k)
 		}
 	}
 	return cfg, nil

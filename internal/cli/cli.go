@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 )
 
@@ -33,6 +34,18 @@ type Robustness struct {
 	JournalPath string
 	// Timeout bounds each job's wall-clock time (0 = none).
 	Timeout time.Duration
+	// Cache enables the content-addressed result cache: points whose
+	// job fingerprint was already simulated (by this process, or — with
+	// CacheDir — by an earlier one) are served from the cache instead of
+	// re-simulated.
+	Cache bool
+	// CacheDir, when non-empty, persists the result cache to
+	// <CacheDir>/results.jsonl; it implies Cache.
+	CacheDir string
+	// ForkWarmup forks schemes that share a warmup family (same config,
+	// kernels, partition and Scheme.Warmup length) from one warmed
+	// engine snapshot instead of re-simulating the warmup prefix.
+	ForkWarmup bool
 }
 
 // AddFlags registers the shared -check, -on-error, -journal and -timeout
@@ -47,6 +60,12 @@ func AddFlags(fs *flag.FlagSet) *Robustness {
 		"checkpoint journal path; completed points are replayed on restart (empty = disabled)")
 	fs.DurationVar(&r.Timeout, "timeout", 0,
 		"per-job wall-clock timeout, e.g. 90s or 10m (0 = none)")
+	fs.BoolVar(&r.Cache, "cache", false,
+		"serve repeated points from the content-addressed result cache")
+	fs.StringVar(&r.CacheDir, "cache-dir", "",
+		"persist the result cache to <dir>/results.jsonl across runs (implies -cache)")
+	fs.BoolVar(&r.ForkWarmup, "fork-warmup", false,
+		"fork schemes sharing a warmup family from one warmed engine snapshot (needs Scheme warmup cycles)")
 	return r
 }
 
@@ -79,10 +98,44 @@ func (r *Robustness) OpenJournal(logf func(format string, args ...any)) (*journa
 	return j, nil
 }
 
-// Apply configures a runner with the per-job timeout and journal.
-func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal) {
+// OpenCache opens the result cache when one was requested (-cache or
+// -cache-dir) and reports how many entries the persistent tier holds.
+// Returns (nil, nil) when caching is disabled.
+func (r *Robustness) OpenCache(logf func(format string, args ...any)) (*resultcache.Store, error) {
+	if !r.Cache && r.CacheDir == "" {
+		return nil, nil
+	}
+	var opts resultcache.Options
+	if r.CacheDir != "" {
+		if err := os.MkdirAll(r.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-cache-dir: %w", err)
+		}
+		opts.Path = r.CacheDir + string(os.PathSeparator) + "results.jsonl"
+	}
+	c, err := resultcache.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	if n := c.Len(); n > 0 && logf != nil {
+		logf("result cache %s: %d entr%s available", opts.Path, n, plural(n, "y", "ies"))
+	}
+	return c, nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// Apply configures a runner with the per-job timeout, journal, result
+// cache and warmup forking (j and c may be nil).
+func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal, c *resultcache.Store) {
 	run.Timeout = r.Timeout
 	run.Journal = j
+	run.Cache = c
+	run.ForkWarmup = r.ForkWarmup
 }
 
 // Failures applies the failed-point policy to a finished grid. Under

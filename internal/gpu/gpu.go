@@ -116,6 +116,11 @@ type GPU struct {
 	workCh         []chan int64
 	stepWG         sync.WaitGroup
 	workersStarted bool
+
+	// policies holds the per-SM policy instances currently installed,
+	// kept for the shared-instance worker clamp and for the snapshot
+	// layer's stateful-policy guard (see snapshot.go).
+	policies [][3]any
 }
 
 // New builds a GPU running the given kernels under opts.
@@ -183,6 +188,7 @@ func New(cfg config.Config, descs []*kern.Desc, opts *Options) (*GPU, error) {
 		part.ch.Pool = &g.memPool
 		g.parts = append(g.parts, part)
 	}
+	g.policies = policies
 	g.workers = effectiveWorkers(opts.Workers, cfg.NumSMs, policies)
 	return g, nil
 }

@@ -1,0 +1,226 @@
+// Whole-machine snapshot/restore, the engine half of the warm-fork
+// optimization: the sweep path simulates a family's shared warmup
+// prefix once, snapshots the machine and restores the snapshot into a
+// fresh GPU per family member instead of re-simulating the prefix.
+//
+// One mem.Cloner spans the whole capture (and another the whole
+// restore): the requests of one memory instruction may simultaneously
+// sit in an SM's LSU, its L1 MSHRs, the crossbars, an L2 partition and
+// DRAM, and they share one InstrToken — a per-component copy would tear
+// that aliasing. Clones are freshly allocated, never pool-drawn, so the
+// snapshot owns its memory: releasing (and poisoning) the originals
+// afterwards cannot reach it, and restoring the same snapshot many
+// times yields disjoint machines.
+//
+// Policies are deliberately outside the snapshot boundary. A policy
+// object may hold arbitrary cross-SM state (global limiters, hook
+// closures) that the cloner cannot see, so Snapshot refuses to run
+// while stateful (pointer-typed) policies are installed. The intended
+// sequence is: build the machine unmanaged, run the warmup leg,
+// snapshot, then InstallPolicies for the managed main leg — both the
+// cold path and the fork path execute that same sequence, which is what
+// makes them byte-identical.
+
+package gpu
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/icnt"
+	"repro/internal/mem"
+	"repro/internal/sm"
+)
+
+// Snapshot is the captured state of a whole GPU. Immutable once taken;
+// Restore deep-copies out of it, so one snapshot can seed any number of
+// machines (concurrently, if each restore targets a different GPU).
+type Snapshot struct {
+	cycle int64
+
+	sms      []*sm.Snapshot
+	l2s      []*cache.Snapshot
+	drams    []*dram.Snapshot
+	partInQ  [][]*mem.Request
+	partResp [][]l2Response
+	reqNet   *icnt.Snapshot
+	respNet  *icnt.Snapshot
+
+	// requests/tokens are the distinct in-flight objects captured, for
+	// footprint accounting.
+	requests int
+	tokens   int
+}
+
+// Cycle returns the simulation cycle the snapshot was taken at.
+func (sn *Snapshot) Cycle() int64 { return sn.cycle }
+
+// Snapshot captures the machine's full state. It fails when stateful
+// (pointer-typed) policy instances are installed: their state lives
+// outside the engine's object graph, so a restore could not reproduce
+// it. Take snapshots on an unmanaged machine (before InstallPolicies).
+func (g *GPU) Snapshot() (*Snapshot, error) {
+	for _, p := range g.policies {
+		for slot := 0; slot < 3; slot++ {
+			if p[slot] == nil {
+				continue
+			}
+			if reflect.ValueOf(p[slot]).Kind() == reflect.Pointer {
+				return nil, fmt.Errorf("gpu: snapshot with stateful policy %T installed is unsupported; snapshot before InstallPolicies", p[slot])
+			}
+		}
+	}
+	cl := mem.NewCloner()
+	sn := &Snapshot{cycle: g.cycle}
+	for _, s := range g.SMs {
+		sn.sms = append(sn.sms, s.Snapshot(cl))
+	}
+	for _, part := range g.parts {
+		sn.l2s = append(sn.l2s, part.l2.Snapshot(cl))
+		sn.drams = append(sn.drams, part.ch.Snapshot(cl))
+		sn.partInQ = append(sn.partInQ, part.inQ.Snapshot(cl.Request))
+		sn.partResp = append(sn.partResp, part.resp.Snapshot(func(r l2Response) l2Response {
+			return l2Response{req: cl.Request(r.req), readyAt: r.readyAt}
+		}))
+	}
+	sn.reqNet = g.reqNet.Snapshot(cl)
+	sn.respNet = g.respNet.Snapshot(cl)
+	sn.requests = cl.Requests()
+	sn.tokens = cl.Tokens()
+	return sn, nil
+}
+
+// Restore overwrites the machine's state from sn. The GPU must have the
+// geometry the snapshot was taken from (same config-derived SM count,
+// partition count, cache/queue shapes); its pools keep their free lists
+// and its policies are untouched — install the main leg's policies with
+// InstallPolicies afterwards. sn itself is never mutated, so concurrent
+// restores of one snapshot into different GPUs are safe.
+func (g *GPU) Restore(sn *Snapshot) error {
+	if len(sn.sms) != len(g.SMs) {
+		return fmt.Errorf("gpu: restore: snapshot has %d SMs, machine has %d", len(sn.sms), len(g.SMs))
+	}
+	if len(sn.l2s) != len(g.parts) {
+		return fmt.Errorf("gpu: restore: snapshot has %d partitions, machine has %d", len(sn.l2s), len(g.parts))
+	}
+	cl := mem.NewCloner()
+	for i, s := range g.SMs {
+		if err := s.Restore(sn.sms[i], cl); err != nil {
+			return err
+		}
+	}
+	for p, part := range g.parts {
+		if err := part.l2.Restore(sn.l2s[p], cl); err != nil {
+			return fmt.Errorf("gpu: restore: partition %d: %w", p, err)
+		}
+		if err := part.ch.Restore(sn.drams[p], cl); err != nil {
+			return fmt.Errorf("gpu: restore: partition %d: %w", p, err)
+		}
+		part.inQ.Restore(sn.partInQ[p], cl.Request)
+		part.resp.Restore(sn.partResp[p], func(r l2Response) l2Response {
+			return l2Response{req: cl.Request(r.req), readyAt: r.readyAt}
+		})
+	}
+	if err := g.reqNet.Restore(sn.reqNet, cl); err != nil {
+		return err
+	}
+	if err := g.respNet.Restore(sn.respNet, cl); err != nil {
+		return err
+	}
+	g.cycle = sn.cycle
+	return nil
+}
+
+// InstallPolicies replaces the per-SM issue policies and cache policy
+// attachments with the ones opts describes, exactly as New would have
+// built them: fresh policy instances from the factories, a fresh UMON
+// per L1 when UCP is enabled, and the per-kernel bypass vector. The
+// worker pool is stopped and its width re-resolved (a shared policy
+// instance forces serial ticking); it restarts lazily on the next Step.
+//
+// This is the managed-leg half of the snapshot discipline: warm the
+// machine unmanaged, snapshot or restore, then InstallPolicies and run
+// the managed leg.
+func (g *GPU) InstallPolicies(opts *Options) {
+	g.Close()
+	n := len(g.descs)
+	var policies [][3]any
+	for i, s := range g.SMs {
+		var mp sm.MemIssuePolicy
+		var lim sm.Limiter
+		var gate sm.IssueGate
+		if opts.Policies.MemPolicy != nil {
+			mp = opts.Policies.MemPolicy(i, n)
+		}
+		if opts.Policies.Limiter != nil {
+			lim = opts.Policies.Limiter(i, n)
+		}
+		if opts.Policies.Gate != nil {
+			gate = opts.Policies.Gate(i, n)
+		}
+		policies = append(policies, [3]any{mp, lim, gate})
+		s.SetPolicies(mp, lim, gate)
+		if opts.UCP.Enabled {
+			s.L1.AttachUMON()
+		}
+		if opts.BypassL1 != nil {
+			s.L1.SetBypass(opts.BypassL1)
+		}
+	}
+	g.policies = policies
+	g.workers = effectiveWorkers(opts.Workers, g.cfg.NumSMs, policies)
+}
+
+// SetQuota installs a new per-SM TB quota matrix (resident TBs drain
+// naturally). The managed leg of a warmed run uses this to switch from
+// the warmup partition to the scheme's partition.
+func (g *GPU) SetQuota(quota [][]int) error {
+	if len(quota) != len(g.SMs) {
+		return fmt.Errorf("gpu: SetQuota: %d rows, want %d", len(quota), len(g.SMs))
+	}
+	for i, s := range g.SMs {
+		s.SetQuota(quota[i])
+	}
+	return nil
+}
+
+// Bytes estimates the snapshot's memory footprint. The dominant terms —
+// in-flight request/token graphs, per-SM warp arrays and cache line
+// arrays — are counted exactly; fixed per-component overhead is
+// approximated. Feeds the server's snapshot_bytes gauge.
+func (sn *Snapshot) Bytes() int64 {
+	total := int64(sn.requests)*int64(unsafe.Sizeof(mem.Request{})) +
+		int64(sn.tokens)*int64(unsafe.Sizeof(mem.InstrToken{}))
+	for _, s := range sn.sms {
+		total += s.Bytes()
+	}
+	for _, l2 := range sn.l2s {
+		total += l2.Bytes()
+	}
+	for _, d := range sn.drams {
+		total += d.Bytes()
+	}
+	for p := range sn.partInQ {
+		total += int64(len(sn.partInQ[p])+len(sn.partResp[p])) * 16
+	}
+	total += sn.reqNet.Bytes() + sn.respNet.Bytes()
+	return total
+}
+
+// PendingRequests returns the number of in-flight requests held by the
+// live machine across every component (debugging/accounting aid).
+func (g *GPU) PendingRequests() int {
+	total := 0
+	for _, s := range g.SMs {
+		total += s.PendingRequests()
+	}
+	for _, part := range g.parts {
+		total += part.l2.PendingRequests() + part.ch.PendingRequests()
+		total += part.inQ.Len() + part.resp.Len()
+	}
+	total += g.reqNet.PendingRequests() + g.respNet.PendingRequests()
+	return total
+}

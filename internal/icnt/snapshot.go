@@ -1,0 +1,96 @@
+// Snapshot/restore for the crossbar: injection queues, round-robin
+// pointers, port serialization deadlines and in-flight delivery queues
+// are deep-copied through the machine-wide mem.Cloner.
+
+package icnt
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/mem"
+)
+
+// Snapshot is the captured state of one Network. Immutable once taken;
+// Restore deep-copies out of it.
+type Snapshot struct {
+	outQ             [][]Packet
+	rr               []int
+	portFree         []int64
+	inQ              [][]delivered
+	inCount          []int
+	transferredFlits uint64
+}
+
+// Snapshot captures the network's full state through cl.
+func (n *Network) Snapshot(cl *mem.Cloner) *Snapshot {
+	sn := &Snapshot{
+		rr:               append([]int(nil), n.rr...),
+		portFree:         append([]int64(nil), n.portFree...),
+		inCount:          append([]int(nil), n.inCount...),
+		transferredFlits: n.TransferredFlits,
+	}
+	for i := range n.outQ {
+		sn.outQ = append(sn.outQ, n.outQ[i].Snapshot(func(p Packet) Packet {
+			p.Req = cl.Request(p.Req)
+			return p
+		}))
+	}
+	for i := range n.inQ {
+		sn.inQ = append(sn.inQ, n.inQ[i].Snapshot(func(d delivered) delivered {
+			return delivered{req: cl.Request(d.req), readyAt: d.readyAt}
+		}))
+	}
+	return sn
+}
+
+// Restore overwrites the network's state from sn through cl. The network
+// must have the port counts the snapshot was taken from.
+func (n *Network) Restore(sn *Snapshot, cl *mem.Cloner) error {
+	if len(sn.outQ) != len(n.outQ) || len(sn.inQ) != len(n.inQ) {
+		return fmt.Errorf("icnt: restore: snapshot is %dx%d ports, network is %dx%d",
+			len(sn.outQ), len(sn.inQ), len(n.outQ), len(n.inQ))
+	}
+	for i := range n.outQ {
+		n.outQ[i].Restore(sn.outQ[i], func(p Packet) Packet {
+			p.Req = cl.Request(p.Req)
+			return p
+		})
+	}
+	copy(n.rr, sn.rr)
+	copy(n.portFree, sn.portFree)
+	for i := range n.inQ {
+		n.inQ[i].Restore(sn.inQ[i], func(d delivered) delivered {
+			return delivered{req: cl.Request(d.req), readyAt: d.readyAt}
+		})
+	}
+	copy(n.inCount, sn.inCount)
+	n.TransferredFlits = sn.transferredFlits
+	return nil
+}
+
+// PendingRequests returns how many packets the network currently holds
+// across all queues (snapshot-footprint accounting).
+func (n *Network) PendingRequests() int {
+	total := 0
+	for i := range n.outQ {
+		total += n.outQ[i].Len()
+	}
+	for i := range n.inQ {
+		total += n.inQ[i].Len()
+	}
+	return total
+}
+
+// Bytes estimates the snapshot's memory footprint (cloned requests are
+// counted once at the GPU level).
+func (sn *Snapshot) Bytes() int64 {
+	total := int64(len(sn.rr)+len(sn.inCount))*8 + int64(len(sn.portFree))*8
+	for i := range sn.outQ {
+		total += int64(len(sn.outQ[i])) * int64(unsafe.Sizeof(Packet{}))
+	}
+	for i := range sn.inQ {
+		total += int64(len(sn.inQ[i])) * int64(unsafe.Sizeof(delivered{}))
+	}
+	return total
+}

@@ -1,0 +1,65 @@
+package mem
+
+// Cloner deep-copies the memory path's linked transient objects for the
+// engine's snapshot/restore discipline. One Cloner spans one whole
+// snapshot (or restore) operation across every component of a GPU: an
+// InstrToken is shared by all requests of one memory instruction, and
+// those requests may sit in different components at once (an SM's LSU,
+// its L1 MSHR targets, the interconnect, an L2 partition, DRAM), so the
+// clone map must be machine-wide for the aliasing to survive the copy.
+//
+// Every clone is freshly allocated — never drawn from a Pool — so a
+// snapshot owns its memory outright: releasing (and thereby poisoning)
+// the originals after the snapshot cannot reach into it, and restoring
+// the same snapshot several times yields fully disjoint object graphs.
+type Cloner struct {
+	reqs map[*Request]*Request
+	toks map[*InstrToken]*InstrToken
+}
+
+// NewCloner returns an empty Cloner.
+func NewCloner() *Cloner {
+	return &Cloner{
+		reqs: make(map[*Request]*Request),
+		toks: make(map[*InstrToken]*InstrToken),
+	}
+}
+
+// Request returns the clone of r, creating it on first sight. Cloning
+// nil yields nil. Two calls with the same pointer return the same clone,
+// so aliasing in the source graph is preserved in the copy.
+func (c *Cloner) Request(r *Request) *Request {
+	if r == nil {
+		return nil
+	}
+	if cp, ok := c.reqs[r]; ok {
+		return cp
+	}
+	cp := &Request{}
+	*cp = *r
+	cp.Instr = c.Token(r.Instr)
+	c.reqs[r] = cp
+	return cp
+}
+
+// Token returns the clone of t, creating it on first sight (nil-safe,
+// identity-preserving like Request).
+func (c *Cloner) Token(t *InstrToken) *InstrToken {
+	if t == nil {
+		return nil
+	}
+	if cp, ok := c.toks[t]; ok {
+		return cp
+	}
+	cp := &InstrToken{}
+	*cp = *t
+	c.toks[t] = cp
+	return cp
+}
+
+// Requests returns how many distinct requests have been cloned (size
+// accounting for snapshot-footprint gauges).
+func (c *Cloner) Requests() int { return len(c.reqs) }
+
+// Tokens returns how many distinct tokens have been cloned.
+func (c *Cloner) Tokens() int { return len(c.toks) }

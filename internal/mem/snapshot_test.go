@@ -1,0 +1,75 @@
+package mem
+
+import "testing"
+
+// TestClonerPreservesAliasing: all requests of one instruction share one
+// token; the clone graph must share one cloned token the same way, and
+// repeated clones of the same pointer must return the same clone.
+func TestClonerPreservesAliasing(t *testing.T) {
+	tok := &InstrToken{Kernel: 1, SM: 2, Warp: 3, Total: 2}
+	r1 := &Request{LineAddr: 100, Kernel: 1, Instr: tok}
+	r2 := &Request{LineAddr: 228, Kernel: 1, Instr: tok}
+
+	cl := NewCloner()
+	c1 := cl.Request(r1)
+	c2 := cl.Request(r2)
+	if c1 == r1 || c2 == r2 {
+		t.Fatal("clone returned the original pointer")
+	}
+	if c1.Instr == tok {
+		t.Fatal("clone kept a pointer to the original token")
+	}
+	if c1.Instr != c2.Instr {
+		t.Fatal("aliasing torn: two requests of one instruction got different token clones")
+	}
+	if cl.Request(r1) != c1 {
+		t.Fatal("re-cloning the same request returned a different clone")
+	}
+	if cl.Request(nil) != nil || cl.Token(nil) != nil {
+		t.Fatal("nil must clone to nil")
+	}
+	if cl.Requests() != 2 || cl.Tokens() != 1 {
+		t.Fatalf("counts = %d requests / %d tokens, want 2 / 1", cl.Requests(), cl.Tokens())
+	}
+}
+
+// TestCloneSurvivesPoolPoisoning is the copy-on-snapshot regression
+// test: releasing the original request back to its pool poisons it in
+// place, and the poisoned storage is then reused for a new allocation —
+// none of which may reach the clone. This is exactly the snapshot
+// lifecycle (snapshot, let the live machine retire and recycle the
+// originals, restore later).
+func TestCloneSurvivesPoolPoisoning(t *testing.T) {
+	p := &Pool{}
+	tok := p.Token()
+	tok.Kernel, tok.Total = 1, 1
+	r := p.Request()
+	r.LineAddr, r.Kernel, r.SM, r.Warp, r.Instr = 4242, 1, 3, 7, tok
+
+	cl := NewCloner()
+	c := cl.Request(r)
+
+	p.Release(r)
+	p.ReleaseToken(tok)
+	if !r.Poisoned() {
+		t.Fatal("release did not poison the original (test premise broken)")
+	}
+	// Reuse the poisoned storage for fresh objects and overwrite it.
+	r2 := p.Request()
+	r2.LineAddr = 1
+	tok2 := p.Token()
+	tok2.Kernel = 9
+	if r2 != r || tok2 != tok {
+		t.Fatal("pool did not reuse the released storage (test premise broken)")
+	}
+
+	if c.Poisoned() {
+		t.Fatal("poison reached the clone")
+	}
+	if c.LineAddr != 4242 || c.Kernel != 1 || c.SM != 3 || c.Warp != 7 {
+		t.Fatalf("clone mutated by pool recycling: %+v", c)
+	}
+	if c.Instr.Kernel != 1 || c.Instr.Total != 1 {
+		t.Fatalf("cloned token mutated by pool recycling: %+v", c.Instr)
+	}
+}

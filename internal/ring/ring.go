@@ -98,6 +98,40 @@ func (r *Ring[T]) At(i int) T {
 	return r.buf[(r.head+i)&(len(r.buf)-1)]
 }
 
+// Snapshot returns the queued elements oldest-first, each mapped through
+// fn. A nil fn copies elements as-is (correct for value types); element
+// types holding pointers into pooled storage must pass a deep-copying fn
+// so the returned slice owns its memory (copy-on-snapshot discipline).
+// The ring is unchanged.
+func (r *Ring[T]) Snapshot(fn func(T) T) []T {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		v := r.buf[(r.head+i)&(len(r.buf)-1)]
+		if fn != nil {
+			v = fn(v)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Restore replaces the ring's contents with elems (oldest first), each
+// mapped through fn. Pass the same kind of deep-copying fn as Snapshot
+// so a single snapshot can be restored into several rings without any of
+// them sharing storage. Existing storage is reused when large enough.
+func (r *Ring[T]) Restore(elems []T, fn func(T) T) {
+	r.Reset()
+	for _, v := range elems {
+		if fn != nil {
+			v = fn(v)
+		}
+		r.Push(v)
+	}
+}
+
 // Reset discards all elements, keeping the storage. Live references are
 // zeroed so discarded elements do not leak through the backing array.
 func (r *Ring[T]) Reset() {

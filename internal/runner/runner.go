@@ -29,6 +29,7 @@ import (
 
 	gcke "repro"
 	"repro/internal/journal"
+	"repro/internal/resultcache"
 )
 
 // Job is one simulation point: a workload run under a scheme against an
@@ -87,6 +88,9 @@ type Result struct {
 	// Replayed reports that Res was restored from the checkpoint journal
 	// rather than simulated in this process.
 	Replayed bool
+	// Cached reports that Res was served from the content-addressed
+	// result cache rather than simulated.
+	Cached bool
 }
 
 // PanicError is a worker panic recovered into one job's error: the rest
@@ -124,6 +128,20 @@ type Runner struct {
 	// (internal/chaos). A returned error fails the job; a panic is
 	// recovered like any worker panic; ctx carries the job's deadline.
 	Fault func(ctx context.Context, index int, key string) error
+	// Cache, when non-nil, is the content-addressed result store: a job
+	// whose fingerprint is cached is served without simulating, and
+	// every newly simulated result is stored. Cache-write failures are
+	// counted by the store and never fail the job (the cache degrades to
+	// pass-through), unlike journal appends, which are the sweep's
+	// durability contract.
+	Cache *resultcache.Store
+	// ForkWarmup enables warmup-snapshot forking on sessions the runner
+	// derives: jobs in one warmup family (same config, kernels,
+	// partition, warmup length) simulate the shared unmanaged prefix
+	// once and fork from the warmed snapshot. Results are byte-identical
+	// either way. Set it before the first Run; explicit job sessions
+	// keep their own setting.
+	ForkWarmup bool
 	// Check enables the per-cycle invariant watchdog on sessions the
 	// runner derives (jobs with a nil Session). Set it before the first
 	// Run; explicit job sessions keep their own Check setting.
@@ -171,6 +189,7 @@ func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) (*gcke.Se
 		s.ProfileCycles = profileCycles
 		s.Check = r.Check
 		s.Workers = r.EngineWorkers
+		s.ForkWarmup = r.ForkWarmup
 		r.sessions[key] = s
 	}
 	return s, nil
@@ -214,6 +233,17 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 		out.Err = err
 		return
 	}
+	if r.Cache != nil {
+		if raw, ok := r.Cache.Get(key); ok {
+			// A checksummed entry that fails to decode means the result
+			// schema moved; fall through to re-simulation.
+			var res gcke.WorkloadResult
+			if err := json.Unmarshal(raw, &res); err == nil {
+				out.Res, out.Cached = &res, true
+				return
+			}
+		}
+	}
 	if r.Journal != nil {
 		var res gcke.WorkloadResult
 		if ok, err := r.Journal.Lookup(key, &res); err != nil {
@@ -221,6 +251,7 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			return
 		} else if ok {
 			out.Res, out.Replayed = &res, true
+			r.cachePut(key, &res)
 			return
 		}
 	}
@@ -259,7 +290,38 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			err = fmt.Errorf("runner: checkpointing %s: %w", key, jerr)
 		}
 	}
+	if err == nil {
+		r.cachePut(key, res)
+	}
 	out.Res, out.Err = res, err
+}
+
+// cachePut stores a completed result in the result cache. Failures are
+// deliberately swallowed: the store counts them (Stats().PutErrors) and
+// a cache that cannot persist degrades to pass-through rather than
+// failing jobs.
+func (r *Runner) cachePut(key string, res *gcke.WorkloadResult) {
+	if r.Cache == nil {
+		return
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	_ = r.Cache.Put(key, raw)
+}
+
+// ForkStats sums warmup-fork counters over the runner's derived
+// sessions (forks taken, bytes held in warm snapshots).
+func (r *Runner) ForkStats() (forksTaken, snapshotBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sessions {
+		f, b := s.ForkStats()
+		forksTaken += f
+		snapshotBytes += b
+	}
+	return forksTaken, snapshotBytes
 }
 
 // FirstErr returns the first error in results by submission order, so

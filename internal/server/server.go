@@ -43,6 +43,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/journal"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/sm"
 )
@@ -79,6 +80,15 @@ type Config struct {
 	// already-journaled fingerprints without re-simulating. Drain closes
 	// it.
 	Journal *journal.Journal
+	// Cache, when non-nil, is the content-addressed result store: a job
+	// whose fingerprint is cached is served before the breaker and the
+	// admission queue (it costs no simulation), and every newly
+	// simulated result is stored. Drain closes it.
+	Cache *resultcache.Store
+	// ForkWarmup enables warmup-snapshot forking on the runner's derived
+	// sessions (jobs with Scheme.Warmup sharing a warmup family simulate
+	// the unmanaged prefix once).
+	ForkWarmup bool
 	// Chaos, when non-nil, wires the deterministic fault injector into
 	// the runner and journal (dev/test only — the -chaos flag).
 	Chaos *chaos.Injector
@@ -157,12 +167,17 @@ func New(cfg Config) *Server {
 	r := runner.New(cfg.Workers)
 	r.Timeout = cfg.JobTimeout
 	r.Journal = cfg.Journal
+	r.Cache = cfg.Cache
 	r.Check = cfg.Check
 	r.EngineWorkers = cfg.EngineWorkers
+	r.ForkWarmup = cfg.ForkWarmup
 	if cfg.Chaos != nil {
 		r.Fault = cfg.Chaos.JobFault
 		if cfg.Journal != nil {
 			cfg.Journal.FaultHook = cfg.Chaos.JournalFault
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.FaultHook = cfg.Chaos.CacheFault
 		}
 	}
 	s := &Server{
@@ -226,6 +241,11 @@ func (s *Server) Drain(ctx context.Context) error {
 				return ctx.Err()
 			case <-time.After(2 * time.Millisecond):
 			}
+		}
+	}
+	if s.cfg.Cache != nil {
+		if err := s.cfg.Cache.Close(); err != nil {
+			return err
 		}
 	}
 	if s.cfg.Journal != nil {
@@ -302,6 +322,7 @@ type JobResponse struct {
 	Index           int                  `json:"index"`
 	Attempts        int                  `json:"attempts"`
 	Replayed        bool                 `json:"replayed,omitempty"`
+	Cached          bool                 `json:"cached,omitempty"`
 	WeightedSpeedup float64              `json:"weighted_speedup,omitempty"`
 	ANTT            float64              `json:"antt,omitempty"`
 	Fairness        float64              `json:"fairness,omitempty"`
@@ -311,7 +332,8 @@ type JobResponse struct {
 }
 
 func (s *Server) response(index int, res runner.Result, attempts int, full bool) JobResponse {
-	out := JobResponse{Key: res.Key, Index: index, Attempts: attempts, Replayed: res.Replayed}
+	out := JobResponse{Key: res.Key, Index: index, Attempts: attempts,
+		Replayed: res.Replayed, Cached: res.Cached}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 		out.Transient = runner.IsTransient(res.Err)
@@ -446,6 +468,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
+	}
+	// Cache-aware admission: a fingerprint already in the result cache
+	// costs no simulation, so it is served ahead of the breaker and the
+	// admission queue — repeated identical jobs cannot be shed by load.
+	if s.cfg.Cache != nil {
+		if raw, ok := s.cfg.Cache.Get(key); ok {
+			var wres gcke.WorkloadResult
+			if err := json.Unmarshal(raw, &wres); err == nil {
+				s.completed.Add(1)
+				res := runner.Result{Key: key, Res: &wres, Cached: true}
+				writeJSON(w, http.StatusOK, s.response(0, res, 0, r.URL.Query().Get("full") == "1"))
+				return
+			}
+		}
 	}
 	if ok, wait := s.brk.allow(key); !ok {
 		s.shedBrk.Add(1)
@@ -597,6 +633,20 @@ type Stats struct {
 	// (non-replayed) successful jobs since the server started.
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	// Result-cache gauges (zero when no cache is configured): hit/miss
+	// counters, failed persistence writes (the cache degrades to
+	// pass-through), checksum-corrupt entries demoted to misses, and the
+	// number of fingerprints indexed.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CachePutErrors int64 `json:"cache_put_errors,omitempty"`
+	CacheCorrupt   int64 `json:"cache_corrupt,omitempty"`
+	CacheLen       int   `json:"cache_len,omitempty"`
+	// Warmup-fork gauges: how many runs forked from a warmed engine
+	// snapshot instead of re-simulating their warmup prefix, and the
+	// bytes held in cached snapshots.
+	ForksTaken    int64 `json:"forks_taken"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 }
 
 // StatsSnapshot returns current counters (also served at /statz).
@@ -623,6 +673,15 @@ func (s *Server) StatsSnapshot() Stats {
 	if s.cfg.Journal != nil {
 		st.JournalLen = s.cfg.Journal.Len()
 	}
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		st.CacheHits = cs.Hits
+		st.CacheMisses = cs.Misses
+		st.CachePutErrors = cs.PutErrors
+		st.CacheCorrupt = cs.Corrupt
+		st.CacheLen = s.cfg.Cache.Len()
+	}
+	st.ForksTaken, st.SnapshotBytes = s.run.ForkStats()
 	return st
 }
 

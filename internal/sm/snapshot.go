@@ -1,0 +1,234 @@
+// Snapshot/restore for one SM: warps, TB slots, schedulers, occupancy
+// accounting, the LSU pipeline register, the completion queue, series
+// and statistics — plus the embedded L1 — deep-copied through the
+// machine-wide mem.Cloner. Requests and tokens are cloned (never
+// pool-drawn), so releasing/poisoning the originals after a snapshot
+// cannot corrupt it.
+//
+// Deliberately NOT captured: the Pool (a restored SM refills its own),
+// the Trace buffer (an external observer, not engine state), warmLines
+// and the scratch buffers (derived/transient), and the issue policies —
+// policy objects may hold cross-SM shared state the cloner cannot see,
+// so the GPU layer refuses to snapshot while stateful policies are
+// installed and reinstalls them after restore (see gpu.InstallPolicies).
+
+package sm
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Snapshot is the captured state of one SM. Immutable once taken;
+// Restore deep-copies out of it, so one snapshot can seed many SMs.
+type Snapshot struct {
+	warps     []Warp
+	freeWarps []int
+	tbs       []tbSlot
+	scheds    []scheduler
+
+	tbCount     []int
+	tbLaunched  []uint64
+	threadsUsed int
+	regsUsed    int
+	smemUsed    int
+	dispatchPtr int
+	schedAssign int
+	warpAge     int64
+
+	// Only the undispatched suffix of the LSU pipeline register is
+	// captured (requests at indices < lsuIdx have already left; the live
+	// SM only ever reads lsuReqs[lsuIdx:]), so the restored SM starts
+	// with lsuIdx = 0.
+	lsuReqs []*mem.Request
+
+	compQ []compEntry
+	now   int64
+
+	smemBusyUntil int64
+	inflight      []int
+
+	counters  []stats.KernelCounters
+	lsuStall  uint64
+	lsuBusy   uint64
+	aluIssued uint64
+	sfuIssued uint64
+
+	seriesOn     bool
+	seriesIssued [][]uint32
+	seriesL1Acc  [][]uint32
+
+	rng xrand.Source
+
+	l1 *cache.Snapshot
+}
+
+// Snapshot captures the SM's full state (including its L1) through cl,
+// the snapshot operation's machine-wide cloner.
+func (s *SM) Snapshot(cl *mem.Cloner) *Snapshot {
+	sn := &Snapshot{
+		warps:         append([]Warp(nil), s.warps...),
+		freeWarps:     append([]int(nil), s.freeWarps...),
+		tbCount:       append([]int(nil), s.tbCount...),
+		tbLaunched:    append([]uint64(nil), s.tbLaunched...),
+		threadsUsed:   s.threadsUsed,
+		regsUsed:      s.regsUsed,
+		smemUsed:      s.smemUsed,
+		dispatchPtr:   s.dispatchPtr,
+		schedAssign:   s.schedAssign,
+		warpAge:       s.warpAge,
+		now:           s.now,
+		smemBusyUntil: s.smemBusyUntil,
+		inflight:      append([]int(nil), s.inflight...),
+		counters:      append([]stats.KernelCounters(nil), s.K...),
+		lsuStall:      s.LSUStall,
+		lsuBusy:       s.LSUBusy,
+		aluIssued:     s.ALUIssued,
+		sfuIssued:     s.SFUIssued,
+		seriesOn:      s.seriesOn,
+		rng:           *s.rng,
+		l1:            s.L1.Snapshot(cl),
+	}
+	for i := range s.tbs {
+		tb := s.tbs[i]
+		tb.warps = append([]int(nil), s.tbs[i].warps...)
+		sn.tbs = append(sn.tbs, tb)
+	}
+	for i := range s.scheds {
+		sc := s.scheds[i]
+		sc.warps = append([]int(nil), s.scheds[i].warps...)
+		sn.scheds = append(sn.scheds, sc)
+	}
+	for _, r := range s.lsuReqs[s.lsuIdx:] {
+		sn.lsuReqs = append(sn.lsuReqs, cl.Request(r))
+	}
+	sn.compQ = s.compQ.Snapshot(func(e compEntry) compEntry {
+		return compEntry{token: cl.Token(e.token), at: e.at}
+	})
+	if s.seriesOn {
+		for k := range s.seriesIssued {
+			sn.seriesIssued = append(sn.seriesIssued, append([]uint32(nil), s.seriesIssued[k]...))
+			sn.seriesL1Acc = append(sn.seriesL1Acc, append([]uint32(nil), s.seriesL1Acc[k]...))
+		}
+	}
+	return sn
+}
+
+// Restore overwrites the SM's state from sn, deep-copying through cl
+// (the restore operation's machine-wide cloner). The SM must have the
+// geometry the snapshot was taken from; its policies are untouched (the
+// GPU layer reinstalls them).
+func (s *SM) Restore(sn *Snapshot, cl *mem.Cloner) error {
+	if len(sn.warps) != len(s.warps) || len(sn.tbs) != len(s.tbs) ||
+		len(sn.scheds) != len(s.scheds) || len(sn.inflight) != len(s.inflight) {
+		return fmt.Errorf("sm %d: restore: geometry mismatch (warps %d/%d, tbs %d/%d, scheds %d/%d, kernels %d/%d)",
+			s.ID, len(sn.warps), len(s.warps), len(sn.tbs), len(s.tbs),
+			len(sn.scheds), len(s.scheds), len(sn.inflight), len(s.inflight))
+	}
+	if err := s.L1.Restore(sn.l1, cl); err != nil {
+		return fmt.Errorf("sm %d: %w", s.ID, err)
+	}
+	copy(s.warps, sn.warps)
+	s.freeWarps = append(s.freeWarps[:0], sn.freeWarps...)
+	for i := range s.tbs {
+		w := append(s.tbs[i].warps[:0], sn.tbs[i].warps...)
+		s.tbs[i] = sn.tbs[i]
+		s.tbs[i].warps = w
+	}
+	for i := range s.scheds {
+		w := append(s.scheds[i].warps[:0], sn.scheds[i].warps...)
+		s.scheds[i] = sn.scheds[i]
+		s.scheds[i].warps = w
+	}
+	copy(s.tbCount, sn.tbCount)
+	copy(s.tbLaunched, sn.tbLaunched)
+	s.threadsUsed = sn.threadsUsed
+	s.regsUsed = sn.regsUsed
+	s.smemUsed = sn.smemUsed
+	s.dispatchPtr = sn.dispatchPtr
+	s.schedAssign = sn.schedAssign
+	s.warpAge = sn.warpAge
+	s.lsuReqs = s.lsuReqs[:0]
+	for _, r := range sn.lsuReqs {
+		s.lsuReqs = append(s.lsuReqs, cl.Request(r))
+	}
+	s.lsuIdx = 0
+	s.compQ.Restore(sn.compQ, func(e compEntry) compEntry {
+		return compEntry{token: cl.Token(e.token), at: e.at}
+	})
+	s.now = sn.now
+	s.smemBusyUntil = sn.smemBusyUntil
+	copy(s.inflight, sn.inflight)
+	copy(s.K, sn.counters)
+	s.LSUStall = sn.lsuStall
+	s.LSUBusy = sn.lsuBusy
+	s.ALUIssued = sn.aluIssued
+	s.SFUIssued = sn.sfuIssued
+	if sn.seriesOn {
+		if !s.seriesOn || len(s.seriesIssued) != len(sn.seriesIssued) {
+			return fmt.Errorf("sm %d: restore: series shape mismatch", s.ID)
+		}
+		for k := range sn.seriesIssued {
+			if len(s.seriesIssued[k]) < len(sn.seriesIssued[k]) {
+				return fmt.Errorf("sm %d: restore: series kernel %d has %d buckets, snapshot has %d",
+					s.ID, k, len(s.seriesIssued[k]), len(sn.seriesIssued[k]))
+			}
+			copy(s.seriesIssued[k], sn.seriesIssued[k])
+			copy(s.seriesL1Acc[k], sn.seriesL1Acc[k])
+		}
+	}
+	*s.rng = sn.rng
+	return nil
+}
+
+// SetPolicies replaces the SM's issue policies; nil arguments fall back
+// to the unmanaged defaults, exactly as in New. The GPU layer uses this
+// to install the managed policies on a freshly restored (or warmed-up)
+// machine.
+func (s *SM) SetPolicies(memPolicy MemIssuePolicy, limiter Limiter, gate IssueGate) {
+	s.memPolicy = memPolicy
+	s.limiter = limiter
+	s.gate = gate
+	if s.memPolicy == nil {
+		s.memPolicy = NopMemPolicy{}
+	}
+	if s.limiter == nil {
+		s.limiter = NopLimiter{}
+	}
+	if s.gate == nil {
+		s.gate = NopGate{}
+	}
+}
+
+// PendingRequests returns how many requests/tokens the SM currently
+// holds in its LSU, completion queue and L1 (snapshot-footprint
+// accounting).
+func (s *SM) PendingRequests() int {
+	return len(s.lsuReqs[s.lsuIdx:]) + s.compQ.Len() + s.L1.PendingRequests()
+}
+
+// Bytes estimates the snapshot's memory footprint, including the
+// embedded L1 (cloned requests/tokens are counted once at the GPU
+// level).
+func (sn *Snapshot) Bytes() int64 {
+	total := int64(len(sn.warps)) * int64(unsafe.Sizeof(Warp{}))
+	total += int64(len(sn.freeWarps)+len(sn.tbCount)+len(sn.inflight))*8 +
+		int64(len(sn.tbLaunched))*8
+	for i := range sn.tbs {
+		total += int64(unsafe.Sizeof(tbSlot{})) + int64(len(sn.tbs[i].warps))*8
+	}
+	for i := range sn.scheds {
+		total += int64(unsafe.Sizeof(scheduler{})) + int64(len(sn.scheds[i].warps))*8
+	}
+	total += int64(len(sn.lsuReqs))*8 + int64(len(sn.compQ))*int64(unsafe.Sizeof(compEntry{}))
+	total += int64(len(sn.counters)) * int64(unsafe.Sizeof(stats.KernelCounters{}))
+	for k := range sn.seriesIssued {
+		total += int64(len(sn.seriesIssued[k])+len(sn.seriesL1Acc[k])) * 4
+	}
+	return total + sn.l1.Bytes()
+}

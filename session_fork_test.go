@@ -1,0 +1,81 @@
+package gcke
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWarmupForkByteIdentical is the fork planner's core contract: a
+// run whose warm leg is restored from the family snapshot must be
+// byte-identical to a run that simulated its own warmup — for several
+// schemes of one warmup family, including fully managed ones.
+func TestWarmupForkByteIdentical(t *testing.T) {
+	const warmup = 6_000
+	schemes := []Scheme{
+		{Partition: PartitionEven, Warmup: warmup, Series: true},
+		{Partition: PartitionEven, Limiting: LimitDMIL, Warmup: warmup, Series: true},
+		{Partition: PartitionEven, MemIssue: MemIssueQBMI, UCP: true, Warmup: warmup, Series: true},
+	}
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+	wl := []Kernel{bp, sv}
+
+	cold := testSession(t)
+	forked := testSession(t)
+	forked.ForkWarmup = true
+
+	var bytesAfterFirst int64
+	for i, sc := range schemes {
+		want, err := cold.RunWorkload(wl, sc)
+		if err != nil {
+			t.Fatalf("%s cold: %v", sc.Name(), err)
+		}
+		got, err := forked.RunWorkload(wl, sc)
+		if err != nil {
+			t.Fatalf("%s forked: %v", sc.Name(), err)
+		}
+		wantJS, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJS, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wantJS) != string(gotJS) {
+			t.Fatalf("%s: forked run diverged from cold run\ncold:   %s\nforked: %s", sc.Name(), wantJS, gotJS)
+		}
+		forks, bytes := forked.ForkStats()
+		if forks != int64(i+1) {
+			t.Fatalf("after run %d: forksTaken = %d, want %d", i+1, forks, i+1)
+		}
+		if bytes <= 0 {
+			t.Fatalf("snapshotBytes = %d, want > 0", bytes)
+		}
+		if i == 0 {
+			bytesAfterFirst = bytes
+		} else if bytes != bytesAfterFirst {
+			// All three schemes share one warmup family, so the warm
+			// prefix must have been simulated (and accounted) exactly once.
+			t.Fatalf("snapshotBytes grew from %d to %d: family warmup re-simulated", bytesAfterFirst, bytes)
+		}
+	}
+	if forks, _ := cold.ForkStats(); forks != 0 {
+		t.Fatalf("cold session took %d forks, want 0", forks)
+	}
+}
+
+// TestWarmupValidation: nonsensical warmup lengths must be rejected
+// before any simulation happens.
+func TestWarmupValidation(t *testing.T) {
+	s := testSession(t)
+	bp, _ := Benchmark("bp")
+	sv, _ := Benchmark("sv")
+	wl := []Kernel{bp, sv}
+	if _, err := s.RunWorkload(wl, Scheme{Partition: PartitionEven, Warmup: -1}); err == nil {
+		t.Fatal("negative Warmup accepted")
+	}
+	if _, err := s.RunWorkload(wl, Scheme{Partition: PartitionEven, Warmup: s.cycles}); err == nil {
+		t.Fatal("Warmup == run length accepted")
+	}
+}
