@@ -47,6 +47,7 @@ func main() {
 	breakerN := flag.Int("breaker-threshold", 3, "invariant violations per job fingerprint before its circuit opens")
 	breakerCool := flag.Duration("breaker-cooldown", time.Minute, "how long an open circuit sheds before allowing a probe")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection (dev only), e.g. panic=0.5,hang=0.2,journal=0.1,invariant=0.05,seed=42,failures=1")
+	workerMode := flag.Bool("worker", false, "fleet-worker mode: expose /journalz so a ckesweep -fleet coordinator can resume from this worker's journal")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -60,6 +61,7 @@ func main() {
 		Check:            *check,
 		EngineWorkers:    *engineWorkers,
 		ForkWarmup:       *forkWarmup,
+		Worker:           *workerMode,
 	}
 	if *cacheOn || *cacheDir != "" {
 		var copts resultcache.Options
@@ -104,7 +106,11 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	log.Printf("listening on %s", *addr)
+	if *workerMode {
+		log.Printf("listening on %s (fleet worker: /journalz exposed)", *addr)
+	} else {
+		log.Printf("listening on %s", *addr)
+	}
 
 	select {
 	case err := <-errc:

@@ -2,19 +2,36 @@
 // static in-flight memory access limits (SMIL) for a 2-kernel workload.
 // The grid points are independent simulations and run concurrently on a
 // bounded worker pool (-parallel); output is identical to a serial run.
+//
+// With -fleet the sweep is instead sharded across remote ckeserve
+// workers (started with -worker) by the fault-tolerant coordinator in
+// internal/fleet: jobs are leased, requeued past dead or misbehaving
+// workers, stragglers are hedged, and the merged result stream — NDJSON
+// on stdout, one line per grid point in submission order — is
+// byte-identical to a single-node run. -journal then names the
+// coordinator's assignment journal: a killed coordinator restarted with
+// the same journal resumes from the union of its own journal and every
+// reachable worker's /journalz.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/backoff"
+	"repro/internal/chaos"
 	"repro/internal/cli"
+	"repro/internal/fleet"
 	"repro/internal/runner"
+	"repro/internal/server"
 )
 
 func main() {
@@ -26,6 +43,12 @@ func main() {
 	grid := flag.String("grid", "2,4,8,16,32,64,0", "limits to sweep (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	warmup := flag.Int64("warmup", 0, "unmanaged warmup cycles per point (grid points share one warmup family; see -fork-warmup)")
+	fleetWorkers := flag.String("fleet", "", "comma-separated ckeserve -worker URLs; shard the sweep across them (NDJSON output)")
+	fleetAddr := flag.String("fleet-addr", "", "coordinator control-plane listen address (/statz, /healthz); empty = off")
+	fleetChaos := flag.String("fleet-chaos", "", "coordinator-side network fault injection (dev only), e.g. netdrop=0.3,net5xx=0.3,seed=42,failures=1")
+	fleetAttempts := flag.Int("fleet-attempts", 8, "dispatch attempts per grid point before the coordinator gives up on it")
+	fleetSlots := flag.Int("fleet-slots", 0, "concurrent dispatches per worker (0 = 2; keep at or below each worker's admission capacity)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "floor of the straggler-hedge threshold (0 = hedge only once a latency EWMA exists; negative disables hedging)")
 	rb := cli.AddFlags(flag.CommandLine)
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -39,6 +62,19 @@ func main() {
 	defer stopProf()
 	ctx, stop := cli.SignalContext()
 	defer stop()
+
+	if *fleetWorkers != "" {
+		code := fleetSweep(ctx, rb, fleetOptions{
+			workers:    strings.Split(*fleetWorkers, ","),
+			addr:       *fleetAddr,
+			chaosSpec:  *fleetChaos,
+			attempts:   *fleetAttempts,
+			slots:      *fleetSlots,
+			hedgeAfter: *hedgeAfter,
+		}, *pair, *sms, *cycles, *grid, *warmup)
+		stopProf()
+		os.Exit(code)
+	}
 
 	cfg := gcke.ScaledConfig(*sms)
 	s := gcke.NewSession(cfg, *cycles)
@@ -141,6 +177,110 @@ func main() {
 		log.Print(cli.FailureSummary(results))
 		os.Exit(1)
 	}
+}
+
+// fleetOptions carries the -fleet* flag values into fleetSweep.
+type fleetOptions struct {
+	workers    []string
+	addr       string
+	chaosSpec  string
+	attempts   int
+	slots      int
+	hedgeAfter time.Duration
+}
+
+// fleetSweep shards the grid across remote workers via the fleet
+// coordinator and streams the merged NDJSON (one line per grid point,
+// submission order) to stdout. Returns the process exit code.
+func fleetSweep(ctx context.Context, rb *cli.Robustness, o fleetOptions, pair string, sms int, cycles int64, grid string, warmup int64) int {
+	lims, err := parseGrid(grid)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var kernels []string
+	for _, n := range strings.Split(pair, ",") {
+		kernels = append(kernels, strings.TrimSpace(n))
+	}
+	var timeout string
+	if rb.Timeout > 0 {
+		timeout = rb.Timeout.String()
+	}
+	var reqs []server.JobRequest
+	for _, l0 := range lims {
+		for _, l1 := range lims {
+			reqs = append(reqs, server.JobRequest{
+				SMs:           sms,
+				Cycles:        cycles,
+				ProfileCycles: 60_000, // match the local sweep's profiling window
+				Kernels:       kernels,
+				Scheme: gcke.Scheme{
+					Partition:    gcke.PartitionWarpedSlicer,
+					Limiting:     gcke.LimitStatic,
+					StaticLimits: []int{l0, l1},
+					Warmup:       warmup,
+				},
+				Timeout: timeout,
+			})
+		}
+	}
+	jnl, err := rb.OpenJournal(log.Printf)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	cfg := fleet.Config{
+		Workers:        o.workers,
+		JobTimeout:     rb.Timeout,
+		MaxAttempts:    o.attempts,
+		SlotsPerWorker: o.slots,
+		Retry:          backoff.Default(),
+		HedgeAfter:     o.hedgeAfter,
+		Journal:        jnl,
+		Logf:           log.Printf,
+	}
+	if o.chaosSpec != "" {
+		ccfg, err := chaos.Parse(o.chaosSpec)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if ccfg.Enabled() {
+			cfg.Transport = chaos.New(ccfg).Transport(nil)
+			log.Printf("fleet chaos armed: %s (network faults on the dispatch path)", o.chaosSpec)
+		}
+	}
+	c, err := fleet.New(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if o.addr != "" {
+		go func() {
+			log.Printf("fleet control plane on %s (/statz, /healthz)", o.addr)
+			if err := http.ListenAndServe(o.addr, c.Handler()); err != nil {
+				log.Printf("fleet control plane: %v", err)
+			}
+		}()
+	}
+	runErr := c.Run(ctx, reqs, os.Stdout)
+	st := c.StatsSnapshot()
+	log.Printf("fleet: %d completed (%d resumed), %d failed, %d dispatches, %d requeues, %d sheds, %d hedges (%d won), %d ejections",
+		st.Completed, st.Resumed, st.Failed, st.Dispatched, st.Requeues, st.Shed429, st.Hedges, st.HedgeWins, st.Ejections)
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if runErr != nil {
+		log.Printf("fleet: %v", runErr)
+		return 1
+	}
+	if st.Failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // dedupeJobs collapses jobs with identical fingerprints (runner.Job.Key)

@@ -1,9 +1,10 @@
-// Package chaos is a deterministic fault injector for the service and
-// sweep pipelines: it forces worker panics, artificial hangs, journal
-// and result-cache write errors and invariant-watchdog violations so
-// every degradation
-// path (retry, deadline kill, circuit breaker, journal rollback) has a
-// failing-then-recovering test instead of an untested error branch.
+// Package chaos is a deterministic fault injector for the service, sweep
+// and fleet pipelines: it forces worker panics, artificial hangs,
+// journal and result-cache write errors, invariant-watchdog violations
+// and network faults (connection drops, added latency, synthetic 5xx) so
+// every degradation path (retry, deadline kill, circuit breaker, journal
+// rollback, fleet requeue/hedge/eject) has a failing-then-recovering
+// test instead of an untested error branch.
 //
 // Determinism is the point. Whether a job is faulted, and how, is a pure
 // function of (seed, job fingerprint): the same seed replays the same
@@ -17,6 +18,8 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,6 +50,20 @@ const (
 	// the cache's pass-through degradation: the job must still succeed,
 	// only the entry's durability is lost).
 	KindCache Kind = "cache"
+	// KindNetDrop fails the HTTP round trip with a connection error
+	// before the request reaches the worker (exercises the fleet
+	// coordinator's requeue-on-connection-failure path; from the
+	// coordinator's view it is indistinguishable from a partition or a
+	// crashed worker).
+	KindNetDrop Kind = "netdrop"
+	// KindNetDelay adds latency to the round trip (exercises straggler
+	// hedging and lease expiry without a real slow network).
+	KindNetDelay Kind = "netdelay"
+	// KindNet5xx answers the request with a synthetic 503 without
+	// reaching the worker (exercises requeue-on-5xx; the worker never
+	// executes, so the retried job must still produce the one true
+	// result).
+	KindNet5xx Kind = "net5xx"
 	// KindNone means the key was not selected for any fault.
 	KindNone Kind = "none"
 )
@@ -63,10 +80,16 @@ type Config struct {
 	JournalProb   float64
 	InvariantProb float64
 	CacheProb     float64
+	NetDropProb   float64
+	NetDelayProb  float64
+	Net5xxProb    float64
 	// Hang is how long a hang fault blocks before giving up and
 	// proceeding (it normally loses to the job deadline; the bound keeps
 	// an undeadlined dev run from blocking forever). 0 means 30s.
 	Hang time.Duration
+	// NetDelay is how much latency a netdelay fault adds to the round
+	// trip. 0 means 1s.
+	NetDelay time.Duration
 	// Failures is how many faults each selected key injects before it is
 	// allowed to succeed (<=0 means 1). The per-key budget is in-memory:
 	// a restarted process injects afresh.
@@ -76,7 +99,8 @@ type Config struct {
 // Enabled reports whether any fault class has a non-zero probability.
 func (c Config) Enabled() bool {
 	return c.PanicProb > 0 || c.HangProb > 0 || c.JournalProb > 0 ||
-		c.InvariantProb > 0 || c.CacheProb > 0
+		c.InvariantProb > 0 || c.CacheProb > 0 ||
+		c.NetDropProb > 0 || c.NetDelayProb > 0 || c.Net5xxProb > 0
 }
 
 // Injector injects faults per Config. It is safe for concurrent use.
@@ -92,6 +116,9 @@ type Injector struct {
 func New(cfg Config) *Injector {
 	if cfg.Hang <= 0 {
 		cfg.Hang = 30 * time.Second
+	}
+	if cfg.NetDelay <= 0 {
+		cfg.NetDelay = time.Second
 	}
 	if cfg.Failures <= 0 {
 		cfg.Failures = 1
@@ -118,6 +145,9 @@ func (inj *Injector) Plan(key string) Kind {
 		{inj.cfg.JournalProb, KindJournal},
 		{inj.cfg.InvariantProb, KindInvariant},
 		{inj.cfg.CacheProb, KindCache},
+		{inj.cfg.NetDropProb, KindNetDrop},
+		{inj.cfg.NetDelayProb, KindNetDelay},
+		{inj.cfg.Net5xxProb, KindNet5xx},
 	} {
 		if r < c.p {
 			return c.k
@@ -210,9 +240,84 @@ func (inj *Injector) CacheFault(op, key string) error {
 	return fmt.Errorf("chaos: injected cache %s error for %s", op, key)
 }
 
+// JobKeyHeader carries the job fingerprint on fleet HTTP requests so the
+// network fault transport can plan per (seed, fingerprint) — the same
+// determinism contract as every other fault class.
+const JobKeyHeader = "X-Cke-Job-Key"
+
+// Transport wraps base (nil = http.DefaultTransport) with the network
+// fault classes: requests carrying a JobKeyHeader whose plan is a net
+// fault are dropped (connection error), delayed, or answered with a
+// synthetic 503 without reaching the worker. Requests without the header
+// (health probes, journal dumps) pass through untouched — network chaos
+// targets work, not the control plane, so the failure matrix stays
+// attributable per job.
+func (inj *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &netTransport{inj: inj, base: base}
+}
+
+type netTransport struct {
+	inj  *Injector
+	base http.RoundTripper
+}
+
+func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := req.Header.Get(JobKeyHeader)
+	if key == "" {
+		return t.base.RoundTrip(req)
+	}
+	switch t.inj.Plan(key) {
+	case KindNetDrop:
+		if t.inj.spend(key, KindNetDrop) {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, fmt.Errorf("chaos: injected connection drop for %s", key)
+		}
+	case KindNetDelay:
+		if t.inj.spend(key, KindNetDelay) {
+			timer := time.NewTimer(t.inj.cfg.NetDelay)
+			defer timer.Stop()
+			select {
+			case <-req.Context().Done():
+				if req.Body != nil {
+					req.Body.Close()
+				}
+				return nil, fmt.Errorf("chaos: injected delay for %s interrupted: %w",
+					key, req.Context().Err())
+			case <-timer.C:
+			}
+		}
+	case KindNet5xx:
+		if t.inj.spend(key, KindNet5xx) {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			body := fmt.Sprintf("chaos: injected 5xx for %s", key)
+			return &http.Response{
+				Status:        "503 Service Unavailable",
+				StatusCode:    http.StatusServiceUnavailable,
+				Proto:         "HTTP/1.1",
+				ProtoMajor:    1,
+				ProtoMinor:    1,
+				Header:        http.Header{"Content-Type": []string{"text/plain"}},
+				Body:          io.NopCloser(strings.NewReader(body)),
+				ContentLength: int64(len(body)),
+				Request:       req,
+			}, nil
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
 // Parse decodes a -chaos flag spec: comma-separated key=value pairs with
-// keys panic, hang, journal, invariant, cache (probabilities in [0,1]),
-// seed (uint64), failures (int) and hangdur (Go duration). Example:
+// keys panic, hang, journal, invariant, cache, netdrop, netdelay, net5xx
+// (probabilities in [0,1]),
+// seed (uint64), failures (int), hangdur and netdelaydur (Go durations).
+// Example:
 //
 //	panic=0.5,hang=0.2,seed=42,failures=1,hangdur=2s
 //
@@ -230,7 +335,7 @@ func Parse(spec string) (Config, error) {
 		}
 		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
 		switch k {
-		case "panic", "hang", "journal", "invariant", "cache":
+		case "panic", "hang", "journal", "invariant", "cache", "netdrop", "netdelay", "net5xx":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
 				return Config{}, fmt.Errorf("chaos: %s=%q: want a probability in [0,1]", k, v)
@@ -246,6 +351,12 @@ func Parse(spec string) (Config, error) {
 				cfg.InvariantProb = p
 			case "cache":
 				cfg.CacheProb = p
+			case "netdrop":
+				cfg.NetDropProb = p
+			case "netdelay":
+				cfg.NetDelayProb = p
+			case "net5xx":
+				cfg.Net5xxProb = p
 			}
 		case "seed":
 			s, err := strconv.ParseUint(v, 10, 64)
@@ -265,8 +376,14 @@ func Parse(spec string) (Config, error) {
 				return Config{}, fmt.Errorf("chaos: hangdur=%q: want a positive duration", v)
 			}
 			cfg.Hang = d
+		case "netdelaydur":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("chaos: netdelaydur=%q: want a positive duration", v)
+			}
+			cfg.NetDelay = d
 		default:
-			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, cache, seed, failures or hangdur)", k)
+			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, cache, netdrop, netdelay, net5xx, seed, failures, hangdur or netdelaydur)", k)
 		}
 	}
 	return cfg, nil

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTransportNet5xx: a net5xx-planned key is answered with a synthetic
+// 503 without the request reaching the worker; once the budget is spent
+// the same key passes through.
+func TestTransportNet5xx(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 3, Net5xxProb: 1, Failures: 1})
+	client := &http.Client{Transport: inj.Transport(nil)}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, strings.NewReader("body"))
+	req.Header.Set(JobKeyHeader, "j1-abc")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatalf("synthetic 5xx reached the worker (%d hits)", hits)
+	}
+
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL, strings.NewReader("body"))
+	req2.Header.Set(JobKeyHeader, "j1-abc")
+	resp2, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || hits != 1 {
+		t.Fatalf("post-budget request: status=%d hits=%d, want 200 and 1", resp2.StatusCode, hits)
+	}
+}
+
+// TestTransportNetDrop: a netdrop-planned key fails with a connection
+// error; requests without a job-key header are never faulted.
+func TestTransportNetDrop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 3, NetDropProb: 1, Failures: 1})
+	client := &http.Client{Transport: inj.Transport(nil)}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set(JobKeyHeader, "j1-abc")
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("netdrop-planned request succeeded")
+	}
+	if got := inj.Counts()[KindNetDrop]; got != 1 {
+		t.Fatalf("Counts()[netdrop] = %d, want 1", got)
+	}
+	// Control-plane requests (no job key) pass through even at prob 1.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("keyless request faulted: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyless request status = %d", resp.StatusCode)
+	}
+}
+
+// TestTransportNetDelayRespectsContext: an injected delay releases on
+// request-context expiry — the lease/hedge machinery, not the fault,
+// decides how long a straggler is tolerated.
+func TestTransportNetDelayRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	inj := New(Config{Seed: 3, NetDelayProb: 1, NetDelay: time.Hour})
+	client := &http.Client{Transport: inj.Transport(nil)}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	req.Header.Set(JobKeyHeader, "j1-abc")
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("delayed request succeeded before its context expired")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("netdelay did not release on context expiry")
+	}
+}
+
+// TestParseNetKeys: the -chaos spec accepts the network fault class.
+func TestParseNetKeys(t *testing.T) {
+	cfg, err := Parse("netdrop=0.2,netdelay=0.1,net5xx=0.5,netdelaydur=250ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 9, NetDropProb: 0.2, NetDelayProb: 0.1, Net5xxProb: 0.5,
+		NetDelay: 250 * time.Millisecond}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("net-only config not enabled")
+	}
+	for _, bad := range []string{"netdrop=2", "net5xx=x", "netdelaydur=0"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,744 @@
+// Package fleet is the distributed sweep fabric: a coordinator that
+// shards a sweep across ckeserve workers over the existing HTTP job
+// protocol and keeps the sweep running — and its output byte-identical —
+// while workers die, hang, shed load, or answer garbage.
+//
+// The fault model and the mechanisms, in the order a job meets them:
+//
+//   - Sharding: jobs are deduplicated by content fingerprint
+//     (runner.Job.Key via server.JobRequest.Build) and each unique
+//     fingerprint is dispatched to one healthy worker with a free slot.
+//     Duplicate completions are harmless by construction — the result is
+//     content-addressed by the same key on both sides.
+//   - Leases: every dispatch runs under a lease (the job's timeout plus
+//     a margin). A worker that neither answers nor fails within the
+//     lease forfeits the job: the dispatch is cancelled and the job is
+//     requeued to another worker.
+//   - Requeue with deterministic backoff: worker 5xx, connection
+//     failure, shed (429) and lease expiry all requeue the job, spaced
+//     by the per-fingerprint backoff policy, capped at MaxAttempts.
+//   - Health: each worker is probed at /healthz on an interval;
+//     a failing prober ejects the worker from the dispatch set,
+//     a succeeding one re-admits it. Connection errors and unparseable
+//     5xx responses eject immediately — the prober re-admits when the
+//     worker recovers.
+//   - Hedged stragglers: a dispatch that outlives the straggler
+//     threshold (HedgeFactor x the fleet latency EWMA, floored at
+//     HedgeAfter) is raced against a second dispatch on a different
+//     worker. The engine is deterministic, so whichever result arrives
+//     first is the result; the loser is cancelled.
+//   - Ordered merge: results are emitted as NDJSON in submission order,
+//     journaled (fsync'd) before they become visible, so the merged
+//     output of a fleet run is byte-identical to a single-node run.
+//   - Fleet resume: a restarted coordinator unions its own assignment
+//     journal with every reachable worker's /journalz dump and emits
+//     already-completed fingerprints without re-dispatching them.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	gcke "repro"
+	"repro/internal/backoff"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/server"
+)
+
+// Config assembles a coordinator. Workers is required; every other
+// field's zero value selects a sensible default.
+type Config struct {
+	// Workers is the base URL of each worker (e.g. http://10.0.0.1:8080).
+	Workers []string
+	// Transport is the HTTP transport used for every worker call (nil =
+	// http.DefaultTransport). The chaos injector's Transport wrapper
+	// plugs in here.
+	Transport http.RoundTripper
+	// JobTimeout is the per-job budget used to size leases when a job
+	// carries no timeout of its own (0 = jobs without timeouts get no
+	// lease deadline, only connection-level failure detection).
+	JobTimeout time.Duration
+	// LeaseMargin is added to the job timeout to form the lease: the
+	// slack a worker gets for queueing and transfer before the
+	// coordinator declares the assignment lost (default 10s).
+	LeaseMargin time.Duration
+	// MaxAttempts caps how many times one fingerprint is dispatched
+	// before the coordinator gives up on it (default 8).
+	MaxAttempts int
+	// Retry spaces a fingerprint's requeues (zero value = backoff
+	// defaults; delays are a pure function of (fingerprint, attempt)).
+	Retry backoff.Policy
+	// HealthInterval is the /healthz probe period (default 250ms);
+	// HealthTimeout bounds each probe and journal fetch (default 2s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// HedgeAfter floors the straggler threshold (default 0: hedging
+	// stays off until a latency sample exists; negative disables hedging
+	// entirely). HedgeFactor scales the fleet latency EWMA into the
+	// threshold (default 4).
+	HedgeAfter  time.Duration
+	HedgeFactor float64
+	// SlotsPerWorker bounds concurrent dispatches per worker (default 2
+	// — workers shed excess themselves, this only keeps the coordinator
+	// from dogpiling one node; a ckeserve -parallel 1 worker still
+	// admits 3 requests, so 2 pipelines without shedding).
+	SlotsPerWorker int
+	// Journal, when non-nil, is the coordinator's assignment journal:
+	// completed results are appended (fsync'd) before they are emitted,
+	// and a restarted coordinator resumes from it.
+	Journal *journal.Journal
+	// Logf receives operational events (ejections, requeues, hedges);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseMargin <= 0 {
+		c.LeaseMargin = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.HedgeFactor <= 0 {
+		c.HedgeFactor = 4
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 2
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Line is one merged-output NDJSON record. It carries only
+// deterministic content — no attempt counts, no worker identity — so a
+// fleet sweep under chaos byte-matches a clean single-node sweep.
+type Line struct {
+	Index           int     `json:"index"`
+	Key             string  `json:"key"`
+	WeightedSpeedup float64 `json:"weighted_speedup,omitempty"`
+	ANTT            float64 `json:"antt,omitempty"`
+	Fairness        float64 `json:"fairness,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// worker is one dispatch target.
+type worker struct {
+	url     string
+	slots   chan struct{}
+	healthy atomic.Bool
+}
+
+// task is one unique job fingerprint's lifecycle state. The lifecycle
+// goroutine owns res/errText until it sends the task on the done
+// channel; the emitter owns them after.
+type task struct {
+	key     string
+	body    []byte // marshaled JobRequest
+	timeout time.Duration
+
+	res       *gcke.WorkloadResult
+	errText   string
+	journaled bool // already durable in the coordinator journal
+}
+
+func (t *task) line(index int) Line {
+	l := Line{Index: index, Key: t.key, Error: t.errText}
+	if t.res != nil {
+		l.WeightedSpeedup = t.res.WeightedSpeedup()
+		l.ANTT = t.res.ANTT()
+		l.Fairness = t.res.Fairness()
+	}
+	return l
+}
+
+// Coordinator shards sweeps across the worker fleet. Create with New,
+// run with Run, inspect with StatsSnapshot or the Handler's /statz.
+type Coordinator struct {
+	cfg     Config
+	client  *http.Client
+	workers []*worker
+	rr      atomic.Int64 // round-robin dispatch offset
+
+	// latEWMA is the moving average of successful dispatch latencies in
+	// nanoseconds; it sizes the straggler-hedge threshold.
+	latEWMA atomic.Int64
+
+	dispatched    atomic.Int64
+	requeues      atomic.Int64
+	shed429       atomic.Int64
+	leaseExpiries atomic.Int64
+	hedges        atomic.Int64
+	hedgeWins     atomic.Int64
+	ejections     atomic.Int64
+	readmissions  atomic.Int64
+	resumed       atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+}
+
+// New assembles a coordinator for the given worker set.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		client: &http.Client{Transport: cfg.Transport},
+	}
+	for _, u := range cfg.Workers {
+		w := &worker{
+			url:   strings.TrimRight(u, "/"),
+			slots: make(chan struct{}, cfg.SlotsPerWorker),
+		}
+		w.healthy.Store(true) // optimistic until the first probe says otherwise
+		c.workers = append(c.workers, w)
+	}
+	return c, nil
+}
+
+// Run shards reqs across the fleet and writes one NDJSON Line per
+// request, in submission order, to out. Completed results are journaled
+// before they are emitted. Run returns ctx's error if cancelled
+// mid-sweep (the journal then carries the resume state) and the number
+// of jobs that exhausted their attempts is visible in StatsSnapshot.
+func (c *Coordinator) Run(ctx context.Context, reqs []server.JobRequest, out io.Writer) error {
+	tasks, slot, err := c.group(reqs)
+	if err != nil {
+		return err
+	}
+	c.resume(ctx, tasks)
+
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	for _, w := range c.workers {
+		go c.probe(pctx, w)
+	}
+
+	done := make(chan *task, len(tasks))
+	fin := make(map[*task]bool, len(tasks))
+	for _, t := range tasks {
+		if t.res != nil {
+			// Resumed: emit without dispatching. settle back-fills the
+			// coordinator journal with entries recovered from workers.
+			fin[t] = true
+			if err := c.settle(t); err != nil {
+				return err
+			}
+			continue
+		}
+		go c.lifecycle(pctx, t, done)
+	}
+
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	for next := 0; next < len(slot); {
+		t := tasks[slot[next]]
+		if !fin[t] {
+			select {
+			case ft := <-done:
+				fin[ft] = true
+				if err := c.settle(ft); err != nil {
+					bw.Flush()
+					return err
+				}
+			case <-ctx.Done():
+				bw.Flush()
+				return ctx.Err()
+			}
+			continue
+		}
+		if err := enc.Encode(t.line(next)); err != nil {
+			return err
+		}
+		next++
+	}
+	return bw.Flush()
+}
+
+// settle journals a freshly finished task (durability before
+// visibility) and scores the fleet counters.
+func (c *Coordinator) settle(t *task) error {
+	if t.res == nil {
+		c.failed.Add(1)
+		return nil
+	}
+	c.completed.Add(1)
+	if c.cfg.Journal != nil && !t.journaled {
+		if err := c.cfg.Journal.Append(t.key, t.res); err != nil {
+			return fmt.Errorf("fleet: journaling %s: %w", t.key, err)
+		}
+		t.journaled = true
+	}
+	return nil
+}
+
+// group validates the requests and collapses duplicate fingerprints
+// into one task each, preserving submission order via the slot map.
+func (c *Coordinator) group(reqs []server.JobRequest) ([]*task, []int, error) {
+	var tasks []*task
+	at := make(map[string]int) // fingerprint -> index in tasks
+	slot := make([]int, len(reqs))
+	for i := range reqs {
+		_, key, timeout, err := reqs[i].Build()
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: job %d: %w", i, err)
+		}
+		j, ok := at[key]
+		if !ok {
+			body, err := json.Marshal(&reqs[i])
+			if err != nil {
+				return nil, nil, fmt.Errorf("fleet: job %d: %w", i, err)
+			}
+			j = len(tasks)
+			at[key] = j
+			tasks = append(tasks, &task{key: key, body: body, timeout: timeout})
+		}
+		slot[i] = j
+	}
+	return tasks, slot, nil
+}
+
+// resume unions the coordinator's own journal with every reachable
+// worker's /journalz dump, marking already-completed tasks so Run emits
+// them without dispatching. Unreachable workers and unknown keys are
+// skipped — resume is best-effort recovery, never a correctness gate.
+func (c *Coordinator) resume(ctx context.Context, tasks []*task) {
+	byKey := make(map[string]*task, len(tasks))
+	for _, t := range tasks {
+		byKey[t.key] = t
+	}
+	adopt := func(key string, raw json.RawMessage, durable bool, src string) {
+		t := byKey[key]
+		if t == nil || t.res != nil {
+			return
+		}
+		var res gcke.WorkloadResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			c.cfg.Logf("fleet: resume: %s entry %s does not decode: %v", src, key, err)
+			return
+		}
+		t.res = &res
+		t.journaled = durable
+		c.resumed.Add(1)
+	}
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Each(func(key string, raw json.RawMessage) error {
+			adopt(key, raw, true, "journal")
+			return nil
+		})
+	}
+	for _, w := range c.workers {
+		hctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+		req, err := http.NewRequestWithContext(hctx, http.MethodGet, w.url+"/journalz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			cancel()
+			c.cfg.Logf("fleet: resume: %s unreachable: %v", w.url, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+			for sc.Scan() {
+				var e server.JournalEntry
+				if json.Unmarshal(sc.Bytes(), &e) == nil {
+					adopt(e.Key, e.Val, false, w.url)
+				}
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+	}
+	if n := c.resumed.Load(); n > 0 {
+		c.cfg.Logf("fleet: resumed %d completed job(s) from journal union", n)
+	}
+}
+
+// lifecycle drives one fingerprint from first dispatch to a final
+// result: requeue on transient failure with deterministic backoff,
+// give up at MaxAttempts, finish on success or permanent error.
+func (c *Coordinator) lifecycle(ctx context.Context, t *task, done chan<- *task) {
+	defer func() { done <- t }()
+	for attempt := 1; ; {
+		o := c.attempt(ctx, t)
+		switch {
+		case o.ok:
+			t.res = o.result
+			return
+		case o.permanent:
+			t.errText = o.errText
+			return
+		case ctx.Err() != nil:
+			t.errText = "fleet: sweep cancelled: " + ctx.Err().Error()
+			return
+		}
+		if o.shed {
+			// Backpressure, not failure: the worker is healthy and asked
+			// us to come back later. Waiting out a saturated fleet must
+			// not burn the job's attempt budget.
+			c.shed429.Add(1)
+			c.cfg.Logf("fleet: backing off %s: %s", t.key, o.reason)
+		} else {
+			c.requeues.Add(1)
+			c.cfg.Logf("fleet: requeue %s (attempt %d): %s", t.key, attempt, o.reason)
+			if attempt >= c.cfg.MaxAttempts {
+				t.errText = fmt.Sprintf("fleet: gave up after %d attempts: %s", attempt, o.reason)
+				return
+			}
+			attempt++
+		}
+		delay := c.cfg.Retry.Delay(t.key, attempt)
+		if o.retryAfter > delay {
+			delay = o.retryAfter
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			t.errText = "fleet: sweep cancelled: " + ctx.Err().Error()
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// outcome classifies one dispatch (or one hedged pair of dispatches).
+type outcome struct {
+	ok         bool
+	result     *gcke.WorkloadResult
+	permanent  bool
+	shed       bool // 429: backpressure, not failure — exempt from MaxAttempts
+	errText    string
+	reason     string
+	retryAfter time.Duration
+}
+
+// attempt runs one dispatch, hedging it to a second worker if it
+// outlives the straggler threshold. The first success wins and cancels
+// the other dispatch; a transient failure waits for the survivor.
+func (c *Coordinator) attempt(ctx context.Context, t *task) outcome {
+	w := c.acquire(ctx, nil)
+	if w == nil {
+		return outcome{reason: "no healthy worker before cancellation"}
+	}
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		o     outcome
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	go func() { ch <- result{o: c.dispatch(dctx, w, t)} }()
+	inflight := 1
+
+	var hedgeC <-chan time.Time
+	var hedgeTimer *time.Timer
+	if th := c.hedgeThreshold(); th > 0 {
+		hedgeTimer = time.NewTimer(th)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.o.ok && r.hedge {
+				c.hedgeWins.Add(1)
+			}
+			if r.o.ok || r.o.permanent || inflight == 0 {
+				return r.o
+			}
+			// Transient failure while the other dispatch still races:
+			// wait for the survivor before classifying the attempt.
+		case <-hedgeC:
+			if w2 := c.tryAcquire(w); w2 != nil {
+				hedgeC = nil
+				c.hedges.Add(1)
+				c.cfg.Logf("fleet: hedging straggler %s to %s", t.key, w2.url)
+				go func() { ch <- result{o: c.dispatch(dctx, w2, t), hedge: true} }()
+				inflight++
+			} else {
+				// No second worker free yet: the primary is still a
+				// straggler, so keep trying to hedge it.
+				hedgeTimer.Reset(c.cfg.HealthInterval)
+			}
+		case <-ctx.Done():
+			return outcome{reason: "cancelled: " + ctx.Err().Error()}
+		}
+	}
+}
+
+// hedgeThreshold is the straggler cutoff: HedgeFactor times the fleet
+// latency EWMA, floored at HedgeAfter. Zero disables hedging for this
+// attempt (no samples yet and no configured floor).
+func (c *Coordinator) hedgeThreshold() time.Duration {
+	if c.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	th := time.Duration(float64(c.latEWMA.Load()) * c.cfg.HedgeFactor)
+	if th < c.cfg.HedgeAfter {
+		th = c.cfg.HedgeAfter
+	}
+	return th
+}
+
+// dispatch posts one job to one worker under a lease and classifies
+// the answer. It owns (and releases) the worker slot acquired for it.
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task) outcome {
+	defer func() { <-w.slots }()
+	lease := t.timeout
+	if lease <= 0 {
+		lease = c.cfg.JobTimeout
+	}
+	dctx := ctx
+	if lease > 0 {
+		lease += c.cfg.LeaseMargin
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, lease)
+		defer cancel()
+	}
+	c.dispatched.Add(1)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost, w.url+"/jobs?full=1", bytes.NewReader(t.body))
+	if err != nil {
+		return outcome{permanent: true, errText: "fleet: building request: " + err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(chaos.JobKeyHeader, t.key)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+			return outcome{reason: "cancelled: " + err.Error()}
+		case dctx.Err() != nil:
+			// The lease expired with the parent context alive: the worker
+			// forfeits the assignment. The prober decides its health.
+			c.leaseExpiries.Add(1)
+			return outcome{reason: fmt.Sprintf("lease (%s) expired on %s", lease, w.url)}
+		default:
+			c.eject(w, err)
+			return outcome{reason: fmt.Sprintf("dispatch to %s: %v", w.url, err)}
+		}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return outcome{reason: "cancelled: " + err.Error()}
+		}
+		c.eject(w, err)
+		return outcome{reason: fmt.Sprintf("reading %s response: %v", w.url, err)}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var jr server.JobResponse
+		if err := json.Unmarshal(body, &jr); err != nil || jr.Result == nil {
+			c.eject(w, fmt.Errorf("malformed 200 body"))
+			return outcome{reason: fmt.Sprintf("%s answered 200 with an undecodable body", w.url)}
+		}
+		c.observeLatency(time.Since(start))
+		return outcome{ok: true, result: jr.Result}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		o := outcome{shed: true, reason: fmt.Sprintf("%s shed the job (429)", w.url)}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			o.retryAfter = time.Duration(secs) * time.Second
+		}
+		return o
+	default:
+		var jr server.JobResponse
+		if json.Unmarshal(body, &jr) == nil && jr.Error != "" {
+			if jr.Transient || resp.StatusCode == http.StatusServiceUnavailable {
+				// Worker-side transient failure or drain: another worker
+				// (or this one, later) can still finish the job.
+				return outcome{reason: fmt.Sprintf("%s: %s", w.url, jr.Error)}
+			}
+			return outcome{permanent: true, errText: jr.Error}
+		}
+		// Unparseable 5xx (injected fault, middlebox garbage): the
+		// worker's state is unknown — eject it and requeue; the prober
+		// re-admits it when /healthz answers again.
+		c.eject(w, fmt.Errorf("status %d", resp.StatusCode))
+		return outcome{reason: fmt.Sprintf("%s answered %d: %.120s", w.url, resp.StatusCode, body)}
+	}
+}
+
+// acquire blocks until a healthy worker other than except has a free
+// slot (or ctx is cancelled — then nil). Workers are scanned round-robin
+// so load spreads without coordination.
+func (c *Coordinator) acquire(ctx context.Context, except *worker) *worker {
+	for {
+		if w := c.tryAcquire(except); w != nil {
+			return w
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// tryAcquire makes one non-blocking pass over the healthy workers.
+func (c *Coordinator) tryAcquire(except *worker) *worker {
+	start := int(c.rr.Add(1))
+	n := len(c.workers)
+	for off := 0; off < n; off++ {
+		w := c.workers[(start+off)%n]
+		if w == except || !w.healthy.Load() {
+			continue
+		}
+		select {
+		case w.slots <- struct{}{}:
+			return w
+		default:
+		}
+	}
+	return nil
+}
+
+// probe watches one worker's /healthz, ejecting it from the dispatch
+// set on failure and re-admitting it on recovery.
+func (c *Coordinator) probe(ctx context.Context, w *worker) {
+	tick := time.NewTicker(c.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		hctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+		req, err := http.NewRequestWithContext(hctx, http.MethodGet, w.url+"/healthz", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.client.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		cancel()
+		if ctx.Err() != nil {
+			return // sweep finished; a cancelled probe says nothing about the worker
+		}
+		if ok {
+			if w.healthy.CompareAndSwap(false, true) {
+				c.readmissions.Add(1)
+				c.cfg.Logf("fleet: re-admitted %s", w.url)
+			}
+		} else {
+			c.eject(w, err)
+		}
+	}
+}
+
+// eject removes a worker from the dispatch set until a probe succeeds.
+func (c *Coordinator) eject(w *worker, cause error) {
+	if w.healthy.CompareAndSwap(true, false) {
+		c.ejections.Add(1)
+		c.cfg.Logf("fleet: ejected %s: %v", w.url, cause)
+	}
+}
+
+// observeLatency folds one successful dispatch's wall-clock into the
+// fleet latency EWMA (alpha 0.2, lock-free).
+func (c *Coordinator) observeLatency(d time.Duration) {
+	for {
+		old := c.latEWMA.Load()
+		ewma := d.Nanoseconds()
+		if old > 0 {
+			ewma = old + (d.Nanoseconds()-old)/5
+		}
+		if c.latEWMA.CompareAndSwap(old, ewma) {
+			return
+		}
+	}
+}
+
+// WorkerStatus is one worker's view in the fleet stats.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Busy    int    `json:"busy"`
+}
+
+// Stats is the coordinator's /statz snapshot.
+type Stats struct {
+	Workers       []WorkerStatus `json:"workers"`
+	Dispatched    int64          `json:"dispatched"`
+	Requeues      int64          `json:"requeues"`
+	Shed429       int64          `json:"shed_429"`
+	LeaseExpiries int64          `json:"lease_expiries"`
+	Hedges        int64          `json:"hedges"`
+	HedgeWins     int64          `json:"hedge_wins"`
+	Ejections     int64          `json:"ejections"`
+	Readmissions  int64          `json:"readmissions"`
+	Resumed       int64          `json:"resumed"`
+	Completed     int64          `json:"completed"`
+	Failed        int64          `json:"failed"`
+	LatencyEWMAMs float64        `json:"latency_ewma_ms,omitempty"`
+}
+
+// StatsSnapshot returns current fleet counters.
+func (c *Coordinator) StatsSnapshot() Stats {
+	st := Stats{
+		Dispatched:    c.dispatched.Load(),
+		Requeues:      c.requeues.Load(),
+		Shed429:       c.shed429.Load(),
+		LeaseExpiries: c.leaseExpiries.Load(),
+		Hedges:        c.hedges.Load(),
+		HedgeWins:     c.hedgeWins.Load(),
+		Ejections:     c.ejections.Load(),
+		Readmissions:  c.readmissions.Load(),
+		Resumed:       c.resumed.Load(),
+		Completed:     c.completed.Load(),
+		Failed:        c.failed.Load(),
+		LatencyEWMAMs: float64(c.latEWMA.Load()) / 1e6,
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			URL: w.url, Healthy: w.healthy.Load(), Busy: len(w.slots),
+		})
+	}
+	return st
+}
+
+// Handler exposes the coordinator's own control plane: /statz (fleet
+// counters + per-worker health) and /healthz.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.StatsSnapshot())
+	})
+	return mux
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -147,6 +148,31 @@ func (j *Journal) Has(key string) bool {
 	defer j.mu.Unlock()
 	_, ok := j.entries[key]
 	return ok
+}
+
+// Each calls fn once per journaled entry, in sorted key order, with the
+// entry's raw JSON value. It is the export path for fleet-level resume:
+// a coordinator unions worker journals by streaming them entry by entry.
+// The raw slice is fn's to keep (it is a copy). A non-nil error from fn
+// stops the iteration and is returned.
+func (j *Journal) Each(fn func(key string, raw json.RawMessage) error) error {
+	j.mu.Lock()
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]json.RawMessage, len(keys))
+	for i, k := range keys {
+		vals[i] = append(json.RawMessage(nil), j.entries[k]...)
+	}
+	j.mu.Unlock()
+	for i, k := range keys {
+		if err := fn(k, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Append records v under key: one JSON line, flushed and fsynced before

@@ -1,6 +1,9 @@
 package journal
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -154,5 +157,44 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	j.Close()
 	if err := j.Append("k", 1); err == nil {
 		t.Fatal("append after close must fail")
+	}
+}
+
+// TestEachSortedAndComplete: Each visits every entry exactly once in
+// sorted key order with decodable values, and a stopping error halts the
+// iteration.
+func TestEachSortedAndComplete(t *testing.T) {
+	j, _ := Open(tmpJournal(t))
+	defer j.Close()
+	for _, k := range []string{"c", "a", "b"} {
+		if err := j.Append(k, map[string]string{"v": k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	err := j.Each(func(key string, raw json.RawMessage) error {
+		var v map[string]string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return err
+		}
+		if v["v"] != key {
+			t.Fatalf("entry %s holds %v", key, v)
+		}
+		keys = append(keys, key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(keys); got != "[a b c]" {
+		t.Fatalf("Each order = %v, want sorted [a b c]", keys)
+	}
+	stop := errors.New("stop")
+	n := 0
+	if err := j.Each(func(string, json.RawMessage) error { n++; return stop }); err != stop {
+		t.Fatalf("Each did not propagate fn's error: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("Each continued after an error: %d calls", n)
 	}
 }

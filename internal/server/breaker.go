@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -94,4 +95,39 @@ func (b *breaker) openCount() int {
 		}
 	}
 	return n
+}
+
+// BreakerInfo is one fingerprint's circuit state as reported by /statz —
+// the per-job health view a fleet operator debugs from. State is "open"
+// (shedding, CooldownMs until the next probe window), "half-open"
+// (cooldown elapsed; the next submission executes as a probe) or
+// "accumulating" (violations recorded, threshold not yet reached).
+type BreakerInfo struct {
+	Key        string `json:"key"`
+	State      string `json:"state"`
+	Fails      int    `json:"fails"`
+	CooldownMs int64  `json:"cooldown_remaining_ms,omitempty"`
+}
+
+// snapshot returns every tracked fingerprint's circuit state, sorted by
+// key. Fingerprints with no failure history are not tracked (success
+// deletes the state), so the list is exactly the unhealthy set.
+func (b *breaker) snapshot() []BreakerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerInfo, 0, len(b.states))
+	for key, st := range b.states {
+		info := BreakerInfo{Key: key, State: "accumulating", Fails: st.fails}
+		if st.open {
+			if wait := st.openUntil.Sub(b.now()); wait > 0 {
+				info.State = "open"
+				info.CooldownMs = wait.Milliseconds()
+			} else {
+				info.State = "half-open"
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }

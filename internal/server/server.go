@@ -101,6 +101,11 @@ type Config struct {
 	// Workers slots x EngineWorkers goroutines never oversubscribe the
 	// machine. Results are byte-identical for any value.
 	EngineWorkers int
+	// Worker enables fleet-worker mode: the server additionally exposes
+	// /journalz, an NDJSON dump of its checkpoint journal, so a fleet
+	// coordinator can resume a sweep from the union of worker journals
+	// without re-dispatching completed fingerprints.
+	Worker bool
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +164,11 @@ type Server struct {
 	simCycles atomic.Int64
 	simNanos  atomic.Int64
 	simAllocs atomic.Int64
+
+	// latEWMA is the exponentially weighted moving average of successful
+	// attempt latencies, in nanoseconds (0 = no samples yet). It sizes
+	// the load-proportional Retry-After hint on queue sheds.
+	latEWMA atomic.Int64
 }
 
 // New assembles a server from cfg.
@@ -192,6 +202,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	if cfg.Worker {
+		s.mux.HandleFunc("/journalz", s.handleJournalz)
+	}
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -271,9 +284,12 @@ type JobRequest struct {
 	Timeout string `json:"timeout,omitempty"`
 }
 
-// build validates the request into a runnable job plus its fingerprint
-// and optional request-level deadline.
-func (req *JobRequest) build() (runner.Job, string, time.Duration, error) {
+// Build validates the request into a runnable job plus its fingerprint
+// and optional request-level deadline. It is exported for the fleet
+// coordinator, which shards and journals by the same fingerprint the
+// worker will compute — content addressing only dedupes duplicate
+// completions if both sides derive the key from the identical job.
+func (req *JobRequest) Build() (runner.Job, string, time.Duration, error) {
 	if req.SMs <= 0 {
 		req.SMs = 4
 	}
@@ -381,7 +397,19 @@ func (s *Server) executeSlot(ctx context.Context, job runner.Job, key string) (r
 // additionally scored against the fingerprint's circuit breaker.
 func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runner.Result, int) {
 	attempts := 0
+	var last runner.Result
 	for {
+		// Gate every attempt on the context, not just the backoff select:
+		// a cancellation (SIGTERM drain, request-level deadline, client
+		// gone) that lands between the backoff timer firing and the next
+		// attempt starting must not buy the job one more execution.
+		if err := ctx.Err(); err != nil {
+			if attempts == 0 {
+				return runner.Result{Key: key, Err: err}, 0
+			}
+			s.failed.Add(1)
+			return last, attempts
+		}
 		attempts++
 		start := time.Now()
 		var m0 runtime.MemStats
@@ -397,11 +425,13 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 				s.simCycles.Add(job.Cycles)
 				s.simNanos.Add(time.Since(start).Nanoseconds())
 				s.simAllocs.Add(int64(m1.Mallocs - m0.Mallocs))
+				s.observeLatency(time.Since(start))
 			}
 			s.brk.success(key)
 			s.completed.Add(1)
 			return res, attempts
 		}
+		last = res
 		var ie *sm.InvariantError
 		if errors.As(res.Err, &ie) {
 			s.brk.failure(key)
@@ -420,6 +450,44 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 		case <-t.C:
 		}
 	}
+}
+
+// observeLatency folds one successful attempt's wall-clock into the
+// latency EWMA (alpha 0.2, CAS loop — samples from concurrent slots
+// never block each other).
+func (s *Server) observeLatency(d time.Duration) {
+	for {
+		old := s.latEWMA.Load()
+		ewma := d.Nanoseconds()
+		if old > 0 {
+			ewma = old + (d.Nanoseconds()-old)/5
+		}
+		if s.latEWMA.CompareAndSwap(old, ewma) {
+			return
+		}
+	}
+}
+
+// retryAfterHint derives the Retry-After for queue sheds from current
+// load: with q requests in the building and Workers slots draining at
+// one job per EWMA latency, the queue turns over in about q*EWMA/Workers
+// — a client that waits that long meets a queue with room, instead of
+// hammering a fixed 1s hint into repeated 429s. Config.RetryAfter is the
+// floor (and the whole answer until the first sample); the hint is
+// capped at a minute so a latency spike cannot park clients forever.
+func (s *Server) retryAfterHint() time.Duration {
+	ewma := s.latEWMA.Load()
+	if ewma <= 0 {
+		return s.cfg.RetryAfter
+	}
+	est := time.Duration(ewma * s.queued.Load() / int64(s.cfg.Workers))
+	if est < s.cfg.RetryAfter {
+		est = s.cfg.RetryAfter
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
 }
 
 // shed writes a 429 with a Retry-After hint.
@@ -464,7 +532,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding job: " + err.Error()})
 		return
 	}
-	job, key, timeout, err := req.build()
+	job, key, timeout, err := req.Build()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -489,7 +557,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admit() {
-		s.shed(w, s.cfg.RetryAfter, "admission queue full")
+		s.shed(w, s.retryAfterHint(), "admission queue full")
 		return
 	}
 	defer s.release()
@@ -536,7 +604,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	jobs := make([]runner.Job, len(reqs))
 	keys := make([]string, len(reqs))
 	for i := range reqs {
-		job, key, _, err := reqs[i].build()
+		job, key, _, err := reqs[i].Build()
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest,
 				map[string]string{"error": fmt.Sprintf("job %d: %v", i, err)})
@@ -545,7 +613,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		jobs[i], keys[i] = job, key
 	}
 	if !s.admit() {
-		s.shed(w, s.cfg.RetryAfter, "admission queue full")
+		s.shed(w, s.retryAfterHint(), "admission queue full")
 		return
 	}
 	defer s.release()
@@ -615,6 +683,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// JournalEntry is one /journalz NDJSON line: a checkpointed job
+// fingerprint and its raw result — the same (key, val) pair the journal
+// stores on disk, so a coordinator unioning worker journals sees exactly
+// what a local resume would.
+type JournalEntry struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// handleJournalz streams the worker's checkpoint journal as NDJSON, one
+// JournalEntry per line in sorted key order. It is the fleet-resume
+// export: a restarted coordinator asks every reachable worker what it
+// already completed instead of re-dispatching the whole grid.
+func (s *Server) handleJournalz(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Journal == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no journal configured"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	s.cfg.Journal.Each(func(key string, raw json.RawMessage) error {
+		return enc.Encode(JournalEntry{Key: key, Val: raw})
+	})
+}
+
 // Stats is the /statz snapshot.
 type Stats struct {
 	Accepted    int64 `json:"accepted"`
@@ -625,8 +719,20 @@ type Stats struct {
 	Failed      int64 `json:"failed"`
 	Queued      int64 `json:"queued"`
 	BreakerOpen int   `json:"breaker_open"`
-	Draining    bool  `json:"draining"`
-	JournalLen  int   `json:"journal_len,omitempty"`
+	// Breakers is the per-fingerprint circuit state (every fingerprint
+	// with failure history): open/half-open/accumulating, violation
+	// count, and remaining cooldown — the per-job view fleet health is
+	// debugged from.
+	Breakers []BreakerInfo `json:"breakers,omitempty"`
+	Draining bool          `json:"draining"`
+	// Worker reports fleet-worker mode (/journalz exposed).
+	Worker     bool `json:"worker,omitempty"`
+	JournalLen int  `json:"journal_len,omitempty"`
+	// LatencyEWMAMs is the moving average of successful attempt
+	// latencies; with Queued it derives the load-proportional
+	// Retry-After hint (RetryAfterHintMs) queue sheds report.
+	LatencyEWMAMs    float64 `json:"latency_ewma_ms,omitempty"`
+	RetryAfterHintMs int64   `json:"retry_after_hint_ms"`
 	// EngineWorkers is the resolved per-job SM-tick fan-out.
 	EngineWorkers int `json:"engine_workers"`
 	// CyclesPerSec and AllocsPerCycle aggregate over executed
@@ -660,9 +766,13 @@ func (s *Server) StatsSnapshot() Stats {
 		Failed:      s.failed.Load(),
 		Queued:      s.queued.Load(),
 		BreakerOpen: s.brk.openCount(),
+		Breakers:    s.brk.snapshot(),
 		Draining:    s.drainng.Load(),
+		Worker:      s.cfg.Worker,
 
-		EngineWorkers: s.cfg.EngineWorkers,
+		EngineWorkers:    s.cfg.EngineWorkers,
+		LatencyEWMAMs:    float64(s.latEWMA.Load()) / 1e6,
+		RetryAfterHintMs: s.retryAfterHint().Milliseconds(),
 	}
 	if ns := s.simNanos.Load(); ns > 0 {
 		st.CyclesPerSec = float64(s.simCycles.Load()) / (float64(ns) / 1e9)
