@@ -85,8 +85,12 @@ func main() {
 	if rcache != nil {
 		defer rcache.Close()
 	}
+	ckpts, err := rb.OpenCheckpoints(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
 	r := runner.New(*parallel)
-	rb.Apply(r, jnl, rcache)
+	rb.Apply(r, jnl, rcache, ckpts)
 	results := r.Run(ctx, jobs)
 	failed, err := rb.Failures(log.Printf, results)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/chaos"
+	"repro/internal/ckpt"
 	"repro/internal/cli"
 	"repro/internal/journal"
 	"repro/internal/resultcache"
@@ -46,8 +47,10 @@ func main() {
 	engineWorkers := flag.Int("engine-workers", 0, "SM-tick goroutines per executing job (0 = GOMAXPROCS/slots; results are identical)")
 	breakerN := flag.Int("breaker-threshold", 3, "invariant violations per job fingerprint before its circuit opens")
 	breakerCool := flag.Duration("breaker-cooldown", time.Minute, "how long an open circuit sheds before allowing a probe")
-	chaosSpec := flag.String("chaos", "", "deterministic fault injection (dev only), e.g. panic=0.5,hang=0.2,journal=0.1,invariant=0.05,seed=42,failures=1")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection (dev only), e.g. panic=0.5,hang=0.2,journal=0.1,invariant=0.05,corrupt=0.3,seed=42,failures=1")
 	workerMode := flag.Bool("worker", false, "fleet-worker mode: expose /journalz so a ckesweep -fleet coordinator can resume from this worker's journal")
+	ckptDir := flag.String("ckpt-dir", "", "persist mid-job engine checkpoints to <dir>; a killed job resumes from its last checkpoint (empty = disabled)")
+	ckptEvery := flag.Int64("ckpt-every", 0, "checkpoint interval in simulated cycles (0 = 50000 when -ckpt-dir is set)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -79,6 +82,18 @@ func main() {
 		if n := c.Len(); n > 0 {
 			log.Printf("result cache %s: %d cached job(s) will serve without simulating", copts.Path, n)
 		}
+	}
+	if *ckptDir != "" {
+		if *ckptEvery <= 0 {
+			*ckptEvery = 50_000
+		}
+		st, err := ckpt.OpenStore(*ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Checkpoints = st
+		cfg.CheckpointEvery = *ckptEvery
+		log.Printf("checkpoints: %s, every %d cycles (killed jobs resume mid-flight)", *ckptDir, *ckptEvery)
 	}
 	if *chaosSpec != "" {
 		ccfg, err := chaos.Parse(*chaosSpec)

@@ -49,6 +49,7 @@ func main() {
 	fleetAttempts := flag.Int("fleet-attempts", 8, "dispatch attempts per grid point before the coordinator gives up on it")
 	fleetSlots := flag.Int("fleet-slots", 0, "concurrent dispatches per worker (0 = 2; keep at or below each worker's admission capacity)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "floor of the straggler-hedge threshold (0 = hedge only once a latency EWMA exists; negative disables hedging)")
+	auditRate := flag.Float64("audit-rate", 0, "fraction of completed grid points re-executed on a different worker and byte-compared; divergence quarantines the lying worker (0 = off, 1 = audit everything)")
 	rb := cli.AddFlags(flag.CommandLine)
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 			attempts:   *fleetAttempts,
 			slots:      *fleetSlots,
 			hedgeAfter: *hedgeAfter,
+			auditRate:  *auditRate,
 		}, *pair, *sms, *cycles, *grid, *warmup)
 		stopProf()
 		os.Exit(code)
@@ -133,8 +135,12 @@ func main() {
 	if rcache != nil {
 		defer rcache.Close()
 	}
+	ckpts, err := rb.OpenCheckpoints(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
 	r := runner.New(*parallel)
-	rb.Apply(r, jnl, rcache)
+	rb.Apply(r, jnl, rcache, ckpts)
 	results := expand(r.Run(ctx, unique))
 	failed, err := rb.Failures(log.Printf, results)
 	if err != nil {
@@ -187,6 +193,7 @@ type fleetOptions struct {
 	attempts   int
 	slots      int
 	hedgeAfter time.Duration
+	auditRate  float64
 }
 
 // fleetSweep shards the grid across remote workers via the fleet
@@ -236,6 +243,7 @@ func fleetSweep(ctx context.Context, rb *cli.Robustness, o fleetOptions, pair st
 		SlotsPerWorker: o.slots,
 		Retry:          backoff.Default(),
 		HedgeAfter:     o.hedgeAfter,
+		AuditRate:      o.auditRate,
 		Journal:        jnl,
 		Logf:           log.Printf,
 	}
@@ -265,8 +273,8 @@ func fleetSweep(ctx context.Context, rb *cli.Robustness, o fleetOptions, pair st
 	}
 	runErr := c.Run(ctx, reqs, os.Stdout)
 	st := c.StatsSnapshot()
-	log.Printf("fleet: %d completed (%d resumed), %d failed, %d dispatches, %d requeues, %d sheds, %d hedges (%d won), %d ejections",
-		st.Completed, st.Resumed, st.Failed, st.Dispatched, st.Requeues, st.Shed429, st.Hedges, st.HedgeWins, st.Ejections)
+	log.Printf("fleet: %d completed (%d resumed), %d failed, %d dispatches, %d requeues, %d sheds, %d hedges (%d won), %d ejections, %d audits (%d mismatched), %d quarantined",
+		st.Completed, st.Resumed, st.Failed, st.Dispatched, st.Requeues, st.Shed429, st.Hedges, st.HedgeWins, st.Ejections, st.Audits, st.AuditMismatches, st.Quarantined)
 	if jnl != nil {
 		if err := jnl.Close(); err != nil {
 			log.Print(err)

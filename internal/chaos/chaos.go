@@ -64,6 +64,13 @@ const (
 	// executes, so the retried job must still produce the one true
 	// result).
 	KindNet5xx Kind = "net5xx"
+	// KindCorrupt silently flips bytes in the job's result or persisted
+	// checkpoint AFTER digests are computed — the silently-wrong-worker
+	// / lying-disk model. The damage is self-consistent at the source
+	// (digest covers the corrupt bytes), so per-hop digest verification
+	// cannot catch it; only an independent re-execution (the audit
+	// path) or the checkpoint store's load-time digest can.
+	KindCorrupt Kind = "corrupt"
 	// KindNone means the key was not selected for any fault.
 	KindNone Kind = "none"
 )
@@ -83,6 +90,7 @@ type Config struct {
 	NetDropProb   float64
 	NetDelayProb  float64
 	Net5xxProb    float64
+	CorruptProb   float64
 	// Hang is how long a hang fault blocks before giving up and
 	// proceeding (it normally loses to the job deadline; the bound keeps
 	// an undeadlined dev run from blocking forever). 0 means 30s.
@@ -100,7 +108,8 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.PanicProb > 0 || c.HangProb > 0 || c.JournalProb > 0 ||
 		c.InvariantProb > 0 || c.CacheProb > 0 ||
-		c.NetDropProb > 0 || c.NetDelayProb > 0 || c.Net5xxProb > 0
+		c.NetDropProb > 0 || c.NetDelayProb > 0 || c.Net5xxProb > 0 ||
+		c.CorruptProb > 0
 }
 
 // Injector injects faults per Config. It is safe for concurrent use.
@@ -148,6 +157,7 @@ func (inj *Injector) Plan(key string) Kind {
 		{inj.cfg.NetDropProb, KindNetDrop},
 		{inj.cfg.NetDelayProb, KindNetDelay},
 		{inj.cfg.Net5xxProb, KindNet5xx},
+		{inj.cfg.CorruptProb, KindCorrupt},
 	} {
 		if r < c.p {
 			return c.k
@@ -240,6 +250,33 @@ func (inj *Injector) CacheFault(op, key string) error {
 	return fmt.Errorf("chaos: injected cache %s error for %s", op, key)
 }
 
+// ResultFault is the worker's silent-corruption seam: it reports whether
+// the finished result for key should have its bytes damaged before the
+// response (and its digest) are built. The caller does the mutation so
+// chaos stays format-agnostic. A corrupt worker is self-consistent —
+// its digest covers the damaged bytes — which is exactly what the audit
+// layer exists to catch.
+func (inj *Injector) ResultFault(key string) bool {
+	if inj.Plan(key) != KindCorrupt {
+		return false
+	}
+	return inj.spend(key, KindCorrupt)
+}
+
+// CheckpointFault is the ckpt.Store.FaultHook seam: a returned error for
+// keys planned KindCorrupt makes the store silently flip a payload byte
+// AFTER the digest is computed (a lying disk). The store's load-time
+// digest check must then reject the file and fall back.
+func (inj *Injector) CheckpointFault(op, key string) error {
+	if inj.Plan(key) != KindCorrupt {
+		return nil
+	}
+	if !inj.spend(key, KindCorrupt) {
+		return nil
+	}
+	return fmt.Errorf("chaos: injected checkpoint %s corruption for %s", op, key)
+}
+
 // JobKeyHeader carries the job fingerprint on fleet HTTP requests so the
 // network fault transport can plan per (seed, fingerprint) — the same
 // determinism contract as every other fault class.
@@ -314,8 +351,8 @@ func (t *netTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 }
 
 // Parse decodes a -chaos flag spec: comma-separated key=value pairs with
-// keys panic, hang, journal, invariant, cache, netdrop, netdelay, net5xx
-// (probabilities in [0,1]),
+// keys panic, hang, journal, invariant, cache, netdrop, netdelay,
+// net5xx, corrupt (probabilities in [0,1]),
 // seed (uint64), failures (int), hangdur and netdelaydur (Go durations).
 // Example:
 //
@@ -335,7 +372,7 @@ func Parse(spec string) (Config, error) {
 		}
 		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
 		switch k {
-		case "panic", "hang", "journal", "invariant", "cache", "netdrop", "netdelay", "net5xx":
+		case "panic", "hang", "journal", "invariant", "cache", "netdrop", "netdelay", "net5xx", "corrupt":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
 				return Config{}, fmt.Errorf("chaos: %s=%q: want a probability in [0,1]", k, v)
@@ -357,6 +394,8 @@ func Parse(spec string) (Config, error) {
 				cfg.NetDelayProb = p
 			case "net5xx":
 				cfg.Net5xxProb = p
+			case "corrupt":
+				cfg.CorruptProb = p
 			}
 		case "seed":
 			s, err := strconv.ParseUint(v, 10, 64)
@@ -383,7 +422,7 @@ func Parse(spec string) (Config, error) {
 			}
 			cfg.NetDelay = d
 		default:
-			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, cache, netdrop, netdelay, net5xx, seed, failures, hangdur or netdelaydur)", k)
+			return Config{}, fmt.Errorf("chaos: unknown key %q (want panic, hang, journal, invariant, cache, netdrop, netdelay, net5xx, corrupt, seed, failures, hangdur or netdelaydur)", k)
 		}
 	}
 	return cfg, nil

@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/journal"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
@@ -46,6 +47,13 @@ type Robustness struct {
 	// kernels, partition and Scheme.Warmup length) from one warmed
 	// engine snapshot instead of re-simulating the warmup prefix.
 	ForkWarmup bool
+	// CkptDir, when non-empty, persists mid-job engine checkpoints to
+	// that directory every CkptEvery cycles: a killed long job resumes
+	// from its last durable checkpoint instead of cycle 0.
+	CkptDir string
+	// CkptEvery is the checkpoint interval in simulated cycles (default
+	// 50000 when CkptDir is set).
+	CkptEvery int64
 }
 
 // AddFlags registers the shared -check, -on-error, -journal and -timeout
@@ -66,6 +74,10 @@ func AddFlags(fs *flag.FlagSet) *Robustness {
 		"persist the result cache to <dir>/results.jsonl across runs (implies -cache)")
 	fs.BoolVar(&r.ForkWarmup, "fork-warmup", false,
 		"fork schemes sharing a warmup family from one warmed engine snapshot (needs Scheme warmup cycles)")
+	fs.StringVar(&r.CkptDir, "ckpt-dir", "",
+		"persist mid-job engine checkpoints to <dir>; a killed job resumes from its last checkpoint (empty = disabled)")
+	fs.Int64Var(&r.CkptEvery, "ckpt-every", 0,
+		"checkpoint interval in simulated cycles (0 = 50000 when -ckpt-dir is set)")
 	return r
 }
 
@@ -129,13 +141,37 @@ func plural(n int, one, many string) string {
 	return many
 }
 
+// OpenCheckpoints opens the mid-job checkpoint store when one was
+// requested (-ckpt-dir). Returns (nil, nil) when disabled.
+func (r *Robustness) OpenCheckpoints(logf func(format string, args ...any)) (*ckpt.Store, error) {
+	if r.CkptDir == "" {
+		return nil, nil
+	}
+	if r.CkptEvery <= 0 {
+		r.CkptEvery = 50_000
+	}
+	s, err := ckpt.OpenStore(r.CkptDir)
+	if err != nil {
+		return nil, fmt.Errorf("-ckpt-dir: %w", err)
+	}
+	if logf != nil {
+		logf("checkpoints: %s, every %d cycles", r.CkptDir, r.CkptEvery)
+	}
+	return s, nil
+}
+
 // Apply configures a runner with the per-job timeout, journal, result
-// cache and warmup forking (j and c may be nil).
-func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal, c *resultcache.Store) {
+// cache, warmup forking and mid-job checkpointing (j, c and ck may be
+// nil).
+func (r *Robustness) Apply(run *runner.Runner, j *journal.Journal, c *resultcache.Store, ck *ckpt.Store) {
 	run.Timeout = r.Timeout
 	run.Journal = j
 	run.Cache = c
 	run.ForkWarmup = r.ForkWarmup
+	run.Checkpoints = ck
+	if ck != nil {
+		run.CheckpointEvery = r.CkptEvery
+	}
 }
 
 // Failures applies the failed-point policy to a finished grid. Under

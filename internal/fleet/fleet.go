@@ -21,7 +21,19 @@
 //     a failing prober ejects the worker from the dispatch set,
 //     a succeeding one re-admits it. Connection errors and unparseable
 //     5xx responses eject immediately — the prober re-admits when the
-//     worker recovers.
+//     worker recovers. The prober also watches /readyz: a worker that is
+//     alive but draining (SIGTERM'd, finishing in-flight work) stops
+//     receiving leases before its liveness goes red and rejoins when
+//     ready again.
+//   - Integrity: every full result carries the worker's sha256 digest,
+//     verified at every hop (response, journal line, /journalz resume).
+//     A deterministic AuditRate sample of completed jobs is additionally
+//     re-executed from scratch on a different worker and byte-compared;
+//     divergence triggers a 2-of-3 vote and quarantines the lying worker
+//     — sticky ejection plus requeue of its unaudited results. This is
+//     the net for workers that answer promptly, self-consistently, and
+//     wrong (bad RAM, sabotage): their digests cover their corrupt
+//     bytes, so only independent re-execution exposes them.
 //   - Hedged stragglers: a dispatch that outlives the straggler
 //     threshold (HedgeFactor x the fleet latency EWMA, floored at
 //     HedgeAfter) is raced against a second dispatch on a different
@@ -41,6 +53,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
@@ -53,6 +66,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/journal"
 	"repro/internal/server"
+	"repro/internal/xrand"
 )
 
 // Config assembles a coordinator. Workers is required; every other
@@ -97,6 +111,19 @@ type Config struct {
 	// completed results are appended (fsync'd) before they are emitted,
 	// and a restarted coordinator resumes from it.
 	Journal *journal.Journal
+	// AuditRate is the fraction of completed jobs whose result is
+	// re-executed from scratch (fresh=1, no cache, no journal) on a
+	// DIFFERENT worker and byte-compared — the integrity net for workers
+	// that answer promptly, self-consistently, and wrong. The engine is
+	// deterministic, so any divergence proves a lie; a 2-of-3 vote on a
+	// third worker decides which side lied, and the liar is quarantined:
+	// ejected for good (probes never re-admit it) with its unaudited
+	// results requeued. Which keys are audited is a pure function of
+	// (AuditSeed, fingerprint) — deterministic and independent of worker
+	// assignment. 0 disables auditing; 1 audits everything.
+	AuditRate float64
+	// AuditSeed salts audit selection (default 0).
+	AuditSeed uint64
 	// Logf receives operational events (ejections, requeues, hedges);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -144,6 +171,20 @@ type worker struct {
 	url     string
 	slots   chan struct{}
 	healthy atomic.Bool
+	// draining: the worker's /readyz answered 503 while /healthz is
+	// still green — it is finishing in-flight work and refusing new
+	// jobs. Leasing to it would bounce off 503s and burn requeues, so
+	// dispatch skips it until /readyz recovers.
+	draining atomic.Bool
+	// quarantined: the worker was caught lying by an audit (or served
+	// bytes that failed their own digest). Sticky — probes re-admit
+	// crashed workers, never corrupt ones.
+	quarantined atomic.Bool
+}
+
+// usable reports whether the worker may receive new leases.
+func (w *worker) usable() bool {
+	return w.healthy.Load() && !w.draining.Load() && !w.quarantined.Load()
 }
 
 // task is one unique job fingerprint's lifecycle state. The lifecycle
@@ -155,6 +196,9 @@ type task struct {
 	timeout time.Duration
 
 	res       *gcke.WorkloadResult
+	raw       json.RawMessage // the result bytes as the worker sent them
+	src       *worker         // worker whose answer res came from (nil if resumed)
+	audited   bool            // res survived (or was produced by) an audit
 	errText   string
 	journaled bool // already durable in the coordinator journal
 }
@@ -192,6 +236,13 @@ type Coordinator struct {
 	resumed       atomic.Int64
 	completed     atomic.Int64
 	failed        atomic.Int64
+
+	audits           atomic.Int64 // audit re-executions compared
+	auditMismatches  atomic.Int64 // audits whose bytes diverged
+	quarantines      atomic.Int64 // workers quarantined
+	digestMismatches atomic.Int64 // responses/entries failing their own digest
+	drainSkips       atomic.Int64 // draining transitions observed by /readyz probes
+	resumeRejects    atomic.Int64 // resume entries rejected by digest verification
 }
 
 // New assembles a coordinator for the given worker set.
@@ -255,6 +306,18 @@ func (c *Coordinator) Run(ctx context.Context, reqs []server.JobRequest, out io.
 		if !fin[t] {
 			select {
 			case ft := <-done:
+				// A worker can be quarantined AFTER results it produced
+				// finished but before they settled. An unaudited result
+				// from a quarantined worker is untrusted: discard it and
+				// restart the lifecycle (the quarantined worker no longer
+				// receives leases, so the re-run lands elsewhere).
+				if ft.res != nil && ft.src != nil && ft.src.quarantined.Load() && !ft.audited {
+					c.requeues.Add(1)
+					c.cfg.Logf("fleet: requeue %s: produced by quarantined %s before audit", ft.key, ft.src.url)
+					ft.res, ft.raw, ft.src = nil, nil, nil
+					go c.lifecycle(pctx, ft, done)
+					continue
+				}
 				fin[ft] = true
 				if err := c.settle(ft); err != nil {
 					bw.Flush()
@@ -326,9 +389,18 @@ func (c *Coordinator) resume(ctx context.Context, tasks []*task) {
 	for _, t := range tasks {
 		byKey[t.key] = t
 	}
-	adopt := func(key string, raw json.RawMessage, durable bool, src string) {
+	adopt := func(key string, raw json.RawMessage, sha string, durable bool, src string) {
 		t := byKey[key]
 		if t == nil || t.res != nil {
+			return
+		}
+		if sha != "" && journal.Digest(raw) != sha {
+			// The entry's bytes no longer match the digest recorded when
+			// it was written — bit rot, a damaged worker journal, or a
+			// mangled /journalz stream. Adopting it would poison the
+			// merged output; skipping it just re-simulates one point.
+			c.resumeRejects.Add(1)
+			c.cfg.Logf("fleet: resume: %s entry %s failed its digest; re-simulating", src, key)
 			return
 		}
 		var res gcke.WorkloadResult
@@ -337,12 +409,13 @@ func (c *Coordinator) resume(ctx context.Context, tasks []*task) {
 			return
 		}
 		t.res = &res
+		t.raw = raw
 		t.journaled = durable
 		c.resumed.Add(1)
 	}
 	if c.cfg.Journal != nil {
-		c.cfg.Journal.Each(func(key string, raw json.RawMessage) error {
-			adopt(key, raw, true, "journal")
+		c.cfg.Journal.EachEntry(func(key string, raw json.RawMessage, sha string) error {
+			adopt(key, raw, sha, true, "journal")
 			return nil
 		})
 	}
@@ -365,7 +438,7 @@ func (c *Coordinator) resume(ctx context.Context, tasks []*task) {
 			for sc.Scan() {
 				var e server.JournalEntry
 				if json.Unmarshal(sc.Bytes(), &e) == nil {
-					adopt(e.Key, e.Val, false, w.url)
+					adopt(e.Key, e.Val, e.Sha, false, w.url)
 				}
 			}
 		}
@@ -387,7 +460,15 @@ func (c *Coordinator) lifecycle(ctx context.Context, t *task, done chan<- *task)
 		o := c.attempt(ctx, t)
 		switch {
 		case o.ok:
-			t.res = o.result
+			t.res, t.raw, t.src = o.result, o.raw, o.src
+			if c.shouldAudit(t.key) && !c.audit(ctx, t) {
+				// The audit condemned the result without producing a
+				// trusted replacement: drop it and re-dispatch (the
+				// quarantined producer is out of the lease set).
+				t.res, t.raw, t.src = nil, nil, nil
+				o.ok, o.reason = false, "audit condemned the result"
+				break
+			}
 			return
 		case o.permanent:
 			t.errText = o.errText
@@ -430,6 +511,8 @@ func (c *Coordinator) lifecycle(ctx context.Context, t *task, done chan<- *task)
 type outcome struct {
 	ok         bool
 	result     *gcke.WorkloadResult
+	raw        json.RawMessage // worker-sent result bytes (audit comparand)
+	src        *worker         // worker that produced result
 	permanent  bool
 	shed       bool // 429: backpressure, not failure — exempt from MaxAttempts
 	errText    string
@@ -441,7 +524,7 @@ type outcome struct {
 // outlives the straggler threshold. The first success wins and cancels
 // the other dispatch; a transient failure waits for the survivor.
 func (c *Coordinator) attempt(ctx context.Context, t *task) outcome {
-	w := c.acquire(ctx, nil)
+	w := c.acquire(ctx)
 	if w == nil {
 		return outcome{reason: "no healthy worker before cancellation"}
 	}
@@ -452,7 +535,7 @@ func (c *Coordinator) attempt(ctx context.Context, t *task) outcome {
 		hedge bool
 	}
 	ch := make(chan result, 2)
-	go func() { ch <- result{o: c.dispatch(dctx, w, t)} }()
+	go func() { ch <- result{o: c.dispatch(dctx, w, t, false)} }()
 	inflight := 1
 
 	var hedgeC <-chan time.Time
@@ -479,7 +562,7 @@ func (c *Coordinator) attempt(ctx context.Context, t *task) outcome {
 				hedgeC = nil
 				c.hedges.Add(1)
 				c.cfg.Logf("fleet: hedging straggler %s to %s", t.key, w2.url)
-				go func() { ch <- result{o: c.dispatch(dctx, w2, t), hedge: true} }()
+				go func() { ch <- result{o: c.dispatch(dctx, w2, t, false), hedge: true} }()
 				inflight++
 			} else {
 				// No second worker free yet: the primary is still a
@@ -508,7 +591,9 @@ func (c *Coordinator) hedgeThreshold() time.Duration {
 
 // dispatch posts one job to one worker under a lease and classifies
 // the answer. It owns (and releases) the worker slot acquired for it.
-func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task) outcome {
+// fresh dispatches carry fresh=1: the worker bypasses its cache and
+// journal entirely — the audit path's independent re-execution.
+func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task, fresh bool) outcome {
 	defer func() { <-w.slots }()
 	lease := t.timeout
 	if lease <= 0 {
@@ -523,7 +608,11 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task) outcome 
 	}
 	c.dispatched.Add(1)
 	start := time.Now()
-	req, err := http.NewRequestWithContext(dctx, http.MethodPost, w.url+"/jobs?full=1", bytes.NewReader(t.body))
+	url := w.url + "/jobs?full=1"
+	if fresh {
+		url += "&fresh=1"
+	}
+	req, err := http.NewRequestWithContext(dctx, http.MethodPost, url, bytes.NewReader(t.body))
 	if err != nil {
 		return outcome{permanent: true, errText: "fleet: building request: " + err.Error()}
 	}
@@ -555,13 +644,31 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task) outcome 
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		var jr server.JobResponse
-		if err := json.Unmarshal(body, &jr); err != nil || jr.Result == nil {
+		// Shadow-decode to get the result's exact wire bytes: the digest
+		// covers them, and the audit path byte-compares them.
+		var shadow struct {
+			Digest string          `json:"digest"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(body, &shadow); err != nil || len(shadow.Result) == 0 {
 			c.eject(w, fmt.Errorf("malformed 200 body"))
 			return outcome{reason: fmt.Sprintf("%s answered 200 with an undecodable body", w.url)}
 		}
+		if shadow.Digest != "" && journal.Digest(shadow.Result) != shadow.Digest {
+			// The bytes do not match the digest the worker itself sent:
+			// damage in transit or a worker too broken to hash its own
+			// output. Either way its answers cannot be trusted.
+			c.digestMismatches.Add(1)
+			c.eject(w, fmt.Errorf("result digest mismatch for %s", t.key))
+			return outcome{reason: fmt.Sprintf("%s result failed its own digest", w.url)}
+		}
+		var res gcke.WorkloadResult
+		if err := json.Unmarshal(shadow.Result, &res); err != nil {
+			c.eject(w, fmt.Errorf("malformed result body"))
+			return outcome{reason: fmt.Sprintf("%s answered 200 with an undecodable result", w.url)}
+		}
 		c.observeLatency(time.Since(start))
-		return outcome{ok: true, result: jr.Result}
+		return outcome{ok: true, result: &res, raw: shadow.Result, src: w}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		o := outcome{shed: true, reason: fmt.Sprintf("%s shed the job (429)", w.url)}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
@@ -586,12 +693,12 @@ func (c *Coordinator) dispatch(ctx context.Context, w *worker, t *task) outcome 
 	}
 }
 
-// acquire blocks until a healthy worker other than except has a free
-// slot (or ctx is cancelled — then nil). Workers are scanned round-robin
-// so load spreads without coordination.
-func (c *Coordinator) acquire(ctx context.Context, except *worker) *worker {
+// acquire blocks until a usable worker not in except has a free slot
+// (or ctx is cancelled — then nil). Workers are scanned round-robin so
+// load spreads without coordination.
+func (c *Coordinator) acquire(ctx context.Context, except ...*worker) *worker {
 	for {
-		if w := c.tryAcquire(except); w != nil {
+		if w := c.tryAcquire(except...); w != nil {
 			return w
 		}
 		select {
@@ -602,13 +709,20 @@ func (c *Coordinator) acquire(ctx context.Context, except *worker) *worker {
 	}
 }
 
-// tryAcquire makes one non-blocking pass over the healthy workers.
-func (c *Coordinator) tryAcquire(except *worker) *worker {
+// tryAcquire makes one non-blocking pass over the usable workers
+// (healthy, not draining, not quarantined).
+func (c *Coordinator) tryAcquire(except ...*worker) *worker {
 	start := int(c.rr.Add(1))
 	n := len(c.workers)
+scan:
 	for off := 0; off < n; off++ {
 		w := c.workers[(start+off)%n]
-		if w == except || !w.healthy.Load() {
+		for _, x := range except {
+			if w == x {
+				continue scan
+			}
+		}
+		if !w.usable() {
 			continue
 		}
 		select {
@@ -620,8 +734,12 @@ func (c *Coordinator) tryAcquire(except *worker) *worker {
 	return nil
 }
 
-// probe watches one worker's /healthz, ejecting it from the dispatch
-// set on failure and re-admitting it on recovery.
+// probe watches one worker's /healthz and /readyz, ejecting it from
+// the dispatch set on liveness failure and re-admitting it on recovery.
+// A worker that is alive but draining (/readyz 503, /healthz 200 — a
+// SIGTERM'd ckeserve finishing its in-flight jobs) is taken out of the
+// lease set BEFORE its liveness goes red, so the coordinator stops
+// bouncing new work off its 503s; it rejoins when /readyz recovers.
 func (c *Coordinator) probe(ctx context.Context, w *worker) {
 	tick := time.NewTicker(c.cfg.HealthInterval)
 	defer tick.Stop()
@@ -631,31 +749,47 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) {
 			return
 		case <-tick.C:
 		}
-		hctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
-		req, err := http.NewRequestWithContext(hctx, http.MethodGet, w.url+"/healthz", nil)
-		if err != nil {
-			cancel()
-			continue
-		}
-		resp, err := c.client.Do(req)
-		ok := err == nil && resp.StatusCode == http.StatusOK
-		if resp != nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-		cancel()
+		ok := c.get(ctx, w.url+"/healthz")
 		if ctx.Err() != nil {
 			return // sweep finished; a cancelled probe says nothing about the worker
 		}
-		if ok {
-			if w.healthy.CompareAndSwap(false, true) {
-				c.readmissions.Add(1)
-				c.cfg.Logf("fleet: re-admitted %s", w.url)
+		if !ok {
+			c.eject(w, fmt.Errorf("liveness probe failed"))
+			continue
+		}
+		if w.healthy.CompareAndSwap(false, true) {
+			c.readmissions.Add(1)
+			c.cfg.Logf("fleet: re-admitted %s", w.url)
+		}
+		ready := c.get(ctx, w.url+"/readyz")
+		if ctx.Err() != nil {
+			return
+		}
+		if !ready {
+			if w.draining.CompareAndSwap(false, true) {
+				c.drainSkips.Add(1)
+				c.cfg.Logf("fleet: %s draining (readyz red, healthz green): leases withheld", w.url)
 			}
-		} else {
-			c.eject(w, err)
+		} else if w.draining.CompareAndSwap(true, false) {
+			c.cfg.Logf("fleet: %s ready again: leases restored", w.url)
 		}
 	}
+}
+
+// get performs one bounded control-plane GET, reporting a 200.
+func (c *Coordinator) get(ctx context.Context, url string) bool {
+	hctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if resp != nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return err == nil && resp.StatusCode == http.StatusOK
 }
 
 // eject removes a worker from the dispatch set until a probe succeeds.
@@ -664,6 +798,101 @@ func (c *Coordinator) eject(w *worker, cause error) {
 		c.ejections.Add(1)
 		c.cfg.Logf("fleet: ejected %s: %v", w.url, cause)
 	}
+}
+
+// quarantine permanently removes a worker caught serving wrong bytes.
+// Unlike eject it is sticky: probes never clear it — a worker that lies
+// once cannot be trusted just because its /healthz answers.
+func (c *Coordinator) quarantine(w *worker, cause string) {
+	if w.quarantined.CompareAndSwap(false, true) {
+		c.quarantines.Add(1)
+		c.cfg.Logf("fleet: QUARANTINED %s: %s", w.url, cause)
+	}
+}
+
+// shouldAudit deterministically selects which fingerprints get their
+// result re-executed and byte-compared: a pure function of (AuditSeed,
+// fingerprint), independent of worker assignment and arrival order, so
+// the same sweep audits the same keys on every run.
+func (c *Coordinator) shouldAudit(key string) bool {
+	if c.cfg.AuditRate <= 0 {
+		return false
+	}
+	if c.cfg.AuditRate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte("/audit"))
+	return xrand.New(c.cfg.AuditSeed^h.Sum64()).Float64() < c.cfg.AuditRate
+}
+
+// audit re-executes t's finished result from scratch on a different
+// worker and byte-compares. The engine is deterministic, so equal bytes
+// prove integrity and divergent bytes prove a lie; a third worker then
+// votes 2-of-3 on which side lied, and the loser is quarantined. audit
+// reports whether t still carries a trustworthy result on return: false
+// means the result was condemned without a trusted replacement and the
+// caller must re-dispatch. A fleet too small (or too busy) to supply an
+// independent worker skips the audit — integrity checking is
+// best-effort, never a liveness hazard.
+func (c *Coordinator) audit(ctx context.Context, t *task) bool {
+	o2 := c.auditDispatch(ctx, t, t.src)
+	if o2 == nil {
+		return true // no independent worker: audit skipped
+	}
+	c.audits.Add(1)
+	if bytes.Equal(t.raw, o2.raw) {
+		t.audited = true
+		return true
+	}
+	c.auditMismatches.Add(1)
+	c.cfg.Logf("fleet: AUDIT MISMATCH %s: %s and %s disagree", t.key, t.src.url, o2.src.url)
+	// Tie-break on a third worker, independent of both.
+	o3 := c.auditDispatch(ctx, t, t.src, o2.src)
+	switch {
+	case o3 != nil && bytes.Equal(o3.raw, o2.raw):
+		// Origin outvoted 2-1: it lied. Adopt the majority bytes.
+		c.quarantine(t.src, fmt.Sprintf("outvoted 2-1 on %s by %s and %s", t.key, o2.src.url, o3.src.url))
+		t.res, t.raw, t.src = o2.result, o2.raw, o2.src
+		t.audited = true
+		return true
+	case o3 != nil && bytes.Equal(o3.raw, t.raw):
+		// Auditor outvoted 2-1: the re-execution lied.
+		c.quarantine(o2.src, fmt.Sprintf("outvoted 2-1 on %s by %s and %s", t.key, t.src.url, o3.src.url))
+		t.audited = true
+		return true
+	default:
+		// No tiebreaker reachable (a two-worker fleet) or a three-way
+		// split: neither byte-string has a majority and blame cannot be
+		// attributed — the liar may just as well be the auditor as the
+		// origin, and quarantining on a coin flip ejects honest workers
+		// (and can quarantine the whole fleet into a deadlock). Trust
+		// neither answer: discard the bytes and make the caller
+		// re-dispatch; the attempt budget bounds a pathological fleet
+		// where no decidable audit ever forms.
+		c.cfg.Logf("fleet: AUDIT UNDECIDED %s: no deciding vote; discarding and re-dispatching", t.key)
+		return false
+	}
+}
+
+// auditDispatch runs one fresh re-execution of t on a worker not in
+// except, bounded by HealthTimeout for slot acquisition (an audit must
+// not stall the sweep when the fleet is saturated). nil = no slot or
+// the re-execution failed; the audit is skipped, not retried — the
+// deterministic sampler will audit this worker again on other keys.
+func (c *Coordinator) auditDispatch(ctx context.Context, t *task, except ...*worker) *outcome {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+	w := c.acquire(actx, except...)
+	cancel()
+	if w == nil {
+		return nil
+	}
+	o := c.dispatch(ctx, w, t, true)
+	if !o.ok || o.raw == nil {
+		return nil
+	}
+	return &o
 }
 
 // observeLatency folds one successful dispatch's wall-clock into the
@@ -683,9 +912,11 @@ func (c *Coordinator) observeLatency(d time.Duration) {
 
 // WorkerStatus is one worker's view in the fleet stats.
 type WorkerStatus struct {
-	URL     string `json:"url"`
-	Healthy bool   `json:"healthy"`
-	Busy    int    `json:"busy"`
+	URL         string `json:"url"`
+	Healthy     bool   `json:"healthy"`
+	Busy        int    `json:"busy"`
+	Draining    bool   `json:"draining,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
 }
 
 // Stats is the coordinator's /statz snapshot.
@@ -703,6 +934,16 @@ type Stats struct {
 	Completed     int64          `json:"completed"`
 	Failed        int64          `json:"failed"`
 	LatencyEWMAMs float64        `json:"latency_ewma_ms,omitempty"`
+	// Integrity-layer counters: audit re-executions compared, audits
+	// whose bytes diverged, workers quarantined, responses or resume
+	// entries that failed their own digest, and draining transitions
+	// observed by the /readyz probes.
+	Audits           int64 `json:"audits"`
+	AuditMismatches  int64 `json:"audit_mismatches"`
+	Quarantined      int64 `json:"quarantined"`
+	DigestMismatches int64 `json:"digest_mismatches"`
+	ResumeRejects    int64 `json:"resume_rejects"`
+	DrainSkips       int64 `json:"drain_skips"`
 }
 
 // StatsSnapshot returns current fleet counters.
@@ -720,10 +961,18 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		Completed:     c.completed.Load(),
 		Failed:        c.failed.Load(),
 		LatencyEWMAMs: float64(c.latEWMA.Load()) / 1e6,
+
+		Audits:           c.audits.Load(),
+		AuditMismatches:  c.auditMismatches.Load(),
+		Quarantined:      c.quarantines.Load(),
+		DigestMismatches: c.digestMismatches.Load(),
+		ResumeRejects:    c.resumeRejects.Load(),
+		DrainSkips:       c.drainSkips.Load(),
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
 			URL: w.url, Healthy: w.healthy.Load(), Busy: len(w.slots),
+			Draining: w.draining.Load(), Quarantined: w.quarantined.Load(),
 		})
 	}
 	return st

@@ -63,6 +63,13 @@ type Options struct {
 	// reports true, RunCycles stops early and returns ErrInterrupted
 	// (cancellation and per-job timeouts thread through here).
 	Interrupt func() bool
+	// Checkpoint, if non-nil, runs every CheckpointEvery cycles (after
+	// the cycle's hook) so the caller can persist a mid-job checkpoint
+	// (see SnapshotCheckpoint). A sink error disables further
+	// checkpoints for the run instead of failing it: checkpointing is a
+	// recovery optimization, never a correctness dependency.
+	Checkpoint      func(g *GPU, cycle int64) error
+	CheckpointEvery int64
 	// Check enables the per-cycle invariant watchdog (see watchdog.go).
 	Check CheckConfig
 	// Workers sets how many goroutines tick SMs concurrently within one
@@ -303,6 +310,10 @@ func (g *GPU) RunCycles(opts *Options) error {
 	if opts.UCP.Enabled {
 		ucpNext = g.cycle
 	}
+	nextCkpt := never
+	if opts.Checkpoint != nil && opts.CheckpointEvery > 0 {
+		nextCkpt = (g.cycle/opts.CheckpointEvery + 1) * opts.CheckpointEvery
+	}
 	for c := int64(0); c < opts.Cycles; c++ {
 		if g.cycle == nextInterrupt {
 			if opts.Interrupt() {
@@ -323,6 +334,13 @@ func (g *GPU) RunCycles(opts *Options) error {
 		if g.cycle == nextHook {
 			opts.Hook(g, g.cycle)
 			nextHook += opts.HookInterval
+		}
+		if g.cycle == nextCkpt {
+			if err := opts.Checkpoint(g, g.cycle); err != nil {
+				nextCkpt = never
+			} else {
+				nextCkpt += opts.CheckpointEvery
+			}
 		}
 	}
 	return nil

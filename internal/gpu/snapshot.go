@@ -29,6 +29,7 @@ import (
 	"unsafe"
 
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/dram"
 	"repro/internal/icnt"
 	"repro/internal/mem"
@@ -53,6 +54,14 @@ type Snapshot struct {
 	// footprint accounting.
 	requests int
 	tokens   int
+
+	// policies[sm][slot] is the ckpt-encoded state of the policy
+	// instance installed in that slot, captured only by
+	// SnapshotCheckpoint (nil for fork-path snapshots and for slots
+	// holding nil or stateless value-typed policies). A shared instance
+	// encodes to identical bytes in every SM's row, so RestoreCheckpoint
+	// decoding it once per SM is idempotent.
+	policies [][3][]byte
 }
 
 // Cycle returns the simulation cycle the snapshot was taken at.
@@ -73,6 +82,13 @@ func (g *GPU) Snapshot() (*Snapshot, error) {
 			}
 		}
 	}
+	return g.capture(), nil
+}
+
+// capture is the unguarded snapshot core shared by Snapshot (fork path,
+// which refuses stateful policies) and SnapshotCheckpoint (which
+// serializes them alongside).
+func (g *GPU) capture() *Snapshot {
 	cl := mem.NewCloner()
 	sn := &Snapshot{cycle: g.cycle}
 	for _, s := range g.SMs {
@@ -90,6 +106,87 @@ func (g *GPU) Snapshot() (*Snapshot, error) {
 	sn.respNet = g.respNet.Snapshot(cl)
 	sn.requests = cl.Requests()
 	sn.tokens = cl.Tokens()
+	return sn
+}
+
+// SnapshotCheckpoint captures the machine's full state for a mid-job
+// checkpoint. Unlike Snapshot (the fork path, which refuses stateful
+// policies because the restored machine installs fresh ones), a
+// checkpoint resumes the SAME run, so installed pointer-typed policy
+// instances are serialized with the machine via the ckpt codec and
+// RestoreCheckpoint decodes them back into the instances a fresh
+// machine's factories built. Policies holding state the codec cannot
+// express (maps, closures) fail here, which callers treat as
+// "checkpointing unavailable", never as a run failure.
+func (g *GPU) SnapshotCheckpoint() (*Snapshot, error) {
+	sn := g.capture()
+	sn.policies = make([][3][]byte, len(g.policies))
+	for i, row := range g.policies {
+		for slot := 0; slot < 3; slot++ {
+			p := row[slot]
+			if p == nil || reflect.ValueOf(p).Kind() != reflect.Pointer {
+				continue // stateless or absent: factories rebuild it
+			}
+			blob, err := ckpt.Marshal(p)
+			if err != nil {
+				return nil, fmt.Errorf("gpu: checkpoint: sm %d policy %T: %w", i, p, err)
+			}
+			sn.policies[i][slot] = blob
+		}
+	}
+	return sn, nil
+}
+
+// RestoreCheckpoint overwrites the machine's state from a checkpoint
+// snapshot, including the installed policy instances' state. The GPU
+// must have the snapshot's geometry AND the same policies installed
+// (built by the same factories — the normal resume path runs gpu.New
+// with the job's original options first).
+func (g *GPU) RestoreCheckpoint(sn *Snapshot) error {
+	if sn.policies == nil {
+		return fmt.Errorf("gpu: restore checkpoint: snapshot lacks policy state (fork-path snapshot?)")
+	}
+	if len(sn.policies) != len(g.policies) {
+		return fmt.Errorf("gpu: restore checkpoint: snapshot has %d policy rows, machine has %d", len(sn.policies), len(g.policies))
+	}
+	for i, row := range g.policies {
+		for slot := 0; slot < 3; slot++ {
+			p := row[slot]
+			blob := sn.policies[i][slot]
+			stateful := p != nil && reflect.ValueOf(p).Kind() == reflect.Pointer
+			if stateful != (blob != nil) {
+				return fmt.Errorf("gpu: restore checkpoint: sm %d slot %d: policy shape mismatch (%T vs %d-byte blob)", i, slot, p, len(blob))
+			}
+		}
+	}
+	if err := g.Restore(sn); err != nil {
+		return err
+	}
+	for i, row := range g.policies {
+		for slot := 0; slot < 3; slot++ {
+			if blob := sn.policies[i][slot]; blob != nil {
+				if err := ckpt.Unmarshal(blob, row[slot]); err != nil {
+					return fmt.Errorf("gpu: restore checkpoint: sm %d policy %T: %w", i, row[slot], err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeSnapshot serializes a snapshot to bytes for persistence.
+func EncodeSnapshot(sn *Snapshot) ([]byte, error) {
+	return ckpt.Marshal(sn)
+}
+
+// DecodeSnapshot deserializes a snapshot produced by EncodeSnapshot.
+// Corrupt input yields an error, never a panic; callers degrade to a
+// from-zero run.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	sn := &Snapshot{}
+	if err := ckpt.Unmarshal(data, sn); err != nil {
+		return nil, err
+	}
 	return sn, nil
 }
 

@@ -15,6 +15,8 @@ package journal
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,10 +24,30 @@ import (
 	"sync"
 )
 
-// entry is one journal line.
+// entry is one journal line. Sha is the hex sha256 of Val: parseable
+// lines whose payload bytes were silently damaged (bit rot, a lying
+// disk, a corrupt worker journal served over /journalz) fail the digest
+// on replay and degrade to a re-simulate instead of poisoning resume.
+// Entries written before the digest existed have Sha == "" and replay
+// unverified.
 type entry struct {
 	Key string          `json:"key"`
 	Val json.RawMessage `json:"val"`
+	Sha string          `json:"sha,omitempty"`
+}
+
+// jentry is one in-memory entry: the raw value plus its digest.
+type jentry struct {
+	val json.RawMessage
+	sha string
+}
+
+// Digest returns the hex sha256 of a journal value's raw bytes — THE
+// integrity fingerprint carried end-to-end (journal line, /journalz,
+// fleet adoption, audit comparison).
+func Digest(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // WriteError is a failed append: the value for Key never became durable
@@ -64,8 +86,9 @@ type Journal struct {
 	f       *os.File
 	off     int64 // end of the last durable entry (rollback target)
 	broken  bool  // a rollback failed; the file tail is untrusted
-	entries map[string]json.RawMessage
+	entries map[string]jentry
 	loaded  int // entries recovered by Open (before any Append)
+	corrupt int // parseable lines rejected by Open for a digest mismatch
 }
 
 // Open loads the journal at path (creating it if absent) and positions
@@ -76,7 +99,7 @@ func Open(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{path: path, f: f, entries: make(map[string]json.RawMessage)}
+	j := &Journal{path: path, f: f, entries: make(map[string]jentry)}
 	valid := int64(0) // byte offset of the end of the last parseable line
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
@@ -88,8 +111,18 @@ func Open(path string) (*Journal, error) {
 			// after it can be trusted (appends are strictly ordered).
 			break
 		}
-		j.entries[e.Key] = append(json.RawMessage(nil), e.Val...)
 		valid += int64(len(line)) + 1
+		if e.Sha != "" && Digest(e.Val) != e.Sha {
+			// Parseable but lying: the payload bytes do not match the
+			// digest recorded when the entry was written. Unlike a torn
+			// tail this is NOT the crash point — ordering is intact, so
+			// skip just this entry (the point re-simulates) and keep
+			// scanning. The line still counts toward the durable offset:
+			// appends resume after it, never over it.
+			j.corrupt++
+			continue
+		}
+		j.entries[e.Key] = jentry{val: append(json.RawMessage(nil), e.Val...), sha: e.Sha}
 	}
 	if err := sc.Err(); err != nil && len(j.entries) == 0 {
 		f.Close()
@@ -127,16 +160,25 @@ func (j *Journal) Recovered() int {
 	return j.loaded
 }
 
+// Corrupt returns how many parseable entries Open rejected because
+// their payload failed the per-entry digest (each degrades to a
+// re-simulate of that point).
+func (j *Journal) Corrupt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corrupt
+}
+
 // Lookup decodes the journaled value for key into v and reports whether
 // the key was present.
 func (j *Journal) Lookup(key string, v any) (bool, error) {
 	j.mu.Lock()
-	raw, ok := j.entries[key]
+	e, ok := j.entries[key]
 	j.mu.Unlock()
 	if !ok {
 		return false, nil
 	}
-	if err := json.Unmarshal(raw, v); err != nil {
+	if err := json.Unmarshal(e.val, v); err != nil {
 		return false, fmt.Errorf("journal: decoding entry %s: %w", key, err)
 	}
 	return true, nil
@@ -156,19 +198,30 @@ func (j *Journal) Has(key string) bool {
 // The raw slice is fn's to keep (it is a copy). A non-nil error from fn
 // stops the iteration and is returned.
 func (j *Journal) Each(fn func(key string, raw json.RawMessage) error) error {
+	return j.EachEntry(func(key string, raw json.RawMessage, _ string) error {
+		return fn(key, raw)
+	})
+}
+
+// EachEntry is Each with the entry's digest alongside the value, for
+// consumers that carry integrity end-to-end (a coordinator verifying a
+// worker's /journalz stream before adopting its results). Sha is "" for
+// entries written before digests existed.
+func (j *Journal) EachEntry(fn func(key string, raw json.RawMessage, sha string) error) error {
 	j.mu.Lock()
 	keys := make([]string, 0, len(j.entries))
 	for k := range j.entries {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	vals := make([]json.RawMessage, len(keys))
+	ents := make([]jentry, len(keys))
 	for i, k := range keys {
-		vals[i] = append(json.RawMessage(nil), j.entries[k]...)
+		e := j.entries[k]
+		ents[i] = jentry{val: append(json.RawMessage(nil), e.val...), sha: e.sha}
 	}
 	j.mu.Unlock()
 	for i, k := range keys {
-		if err := fn(k, vals[i]); err != nil {
+		if err := fn(k, ents[i].val, ents[i].sha); err != nil {
 			return err
 		}
 	}
@@ -185,8 +238,9 @@ func (j *Journal) Append(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("journal: encoding value for %s: %w", key, err)
 	}
+	sha := Digest(raw)
 	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(entry{Key: key, Val: raw}); err != nil {
+	if err := json.NewEncoder(&buf).Encode(entry{Key: key, Val: raw, Sha: sha}); err != nil {
 		return fmt.Errorf("journal: encoding entry %s: %w", key, err)
 	}
 	j.mu.Lock()
@@ -217,7 +271,7 @@ func (j *Journal) Append(key string, v any) error {
 	if err := j.f.Sync(); err != nil {
 		return j.rollback(key, "sync", err)
 	}
-	j.entries[key] = raw
+	j.entries[key] = jentry{val: raw, sha: sha}
 	j.off += int64(buf.Len())
 	return nil
 }

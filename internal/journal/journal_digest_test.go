@@ -1,0 +1,172 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDigestMismatchSkipsEntryAndContinues: a parseable line whose
+// payload fails its digest is dropped from the index (the point
+// re-simulates), but — unlike the torn tail — scanning continues, so
+// entries after the damaged one survive and the durable offset covers
+// the whole file.
+func TestDigestMismatchSkipsEntryAndContinues(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.Append(k, point{WS: float64(len(k))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip payload bytes inside entry "b" without breaking JSON: the
+	// line still parses, but its Val no longer matches its Sha. The WS
+	// value 1.000000 has same-length replacements.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if !bytes.Contains(lines[1], []byte(`"b"`)) {
+		t.Fatalf("unexpected layout: %s", lines[1])
+	}
+	lines[1] = bytes.Replace(lines[1], []byte(`"WS":1`), []byte(`"WS":7`), 1)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Corrupt() != 1 {
+		t.Fatalf("Corrupt() = %d, want 1", j2.Corrupt())
+	}
+	if j2.Has("b") {
+		t.Fatal("digest-mismatched entry still indexed")
+	}
+	// The entries before AND after the damaged line both survive.
+	if !j2.Has("a") || !j2.Has("c") {
+		t.Fatalf("digest skip did not continue scanning: a=%v c=%v", j2.Has("a"), j2.Has("c"))
+	}
+	if j2.Recovered() != 2 {
+		t.Fatalf("Recovered() = %d, want 2", j2.Recovered())
+	}
+
+	// The damaged line's bytes still count toward the durable offset:
+	// a re-append of "b" lands after it, and a reopen sees all four
+	// lines with the fresh "b" winning.
+	if err := j2.Append("b", point{WS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Corrupt() != 1 || j3.Len() != 3 {
+		t.Fatalf("after repair: corrupt=%d len=%d, want 1/3", j3.Corrupt(), j3.Len())
+	}
+	var got point
+	if ok, err := j3.Lookup("b", &got); !ok || err != nil || got.WS != 2 {
+		t.Fatalf("repaired entry: ok=%v err=%v ws=%v", ok, err, got.WS)
+	}
+}
+
+// TestEachEntryCarriesDigest: every appended entry's digest is exposed
+// by EachEntry and matches a recomputation over the raw value —
+// including after a reopen.
+func TestEachEntryCarriesDigest(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("k", point{WS: 1.5, Cells: []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(j *Journal) {
+		t.Helper()
+		n := 0
+		err := j.EachEntry(func(key string, raw json.RawMessage, sha string) error {
+			n++
+			if sha == "" {
+				t.Fatalf("entry %s has no digest", key)
+			}
+			if Digest(raw) != sha {
+				t.Fatalf("entry %s: digest %s does not cover raw %s", key, sha, raw)
+			}
+			return nil
+		})
+		if err != nil || n != 1 {
+			t.Fatalf("EachEntry: n=%d err=%v", n, err)
+		}
+	}
+	check(j)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	check(j2)
+}
+
+// TestLegacyLinesWithoutShaReplay: lines written before the digest
+// existed (no "sha" field) replay unverified rather than being dropped.
+func TestLegacyLinesWithoutShaReplay(t *testing.T) {
+	path := tmpJournal(t)
+	legacy := `{"key":"old","val":{"WS":3.25,"Cells":null}}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Corrupt() != 0 || !j.Has("old") {
+		t.Fatalf("legacy entry rejected: corrupt=%d has=%v", j.Corrupt(), j.Has("old"))
+	}
+	var got point
+	if ok, _ := j.Lookup("old", &got); !ok || got.WS != 3.25 {
+		t.Fatalf("legacy lookup: ok=%v ws=%v", ok, got.WS)
+	}
+	seen := ""
+	j.EachEntry(func(key string, raw json.RawMessage, sha string) error {
+		seen = key
+		if sha != "" {
+			t.Fatalf("legacy entry grew a digest: %q", sha)
+		}
+		return nil
+	})
+	if seen != "old" {
+		t.Fatalf("EachEntry skipped the legacy entry")
+	}
+	// New appends on the same journal do carry digests.
+	if err := j.Append("new", point{WS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sha":"`) {
+		t.Fatal("new append has no sha field on disk")
+	}
+}

@@ -25,9 +25,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	gcke "repro"
+	"repro/internal/ckpt"
 	"repro/internal/journal"
 	"repro/internal/resultcache"
 )
@@ -48,6 +50,14 @@ type Job struct {
 
 	Kernels []gcke.Kernel
 	Scheme  gcke.Scheme
+
+	// Fresh forces a real simulation: the result cache and journal are
+	// neither consulted nor written for this job. Audit re-execution
+	// (internal/fleet) uses it so a re-run actually re-simulates instead
+	// of echoing the possibly-corrupt stored bytes back. Deliberately
+	// NOT part of the fingerprint — a fresh run of a job has the same
+	// key and must produce the same bytes.
+	Fresh bool
 }
 
 // Key returns the job's deterministic fingerprint: a hash over the full
@@ -91,6 +101,10 @@ type Result struct {
 	// Cached reports that Res was served from the content-addressed
 	// result cache rather than simulated.
 	Cached bool
+	// ResumedFrom is the cycle the simulation resumed from via a mid-job
+	// checkpoint (0 when the run started from cycle zero or was served
+	// without simulating).
+	ResumedFrom int64
 }
 
 // PanicError is a worker panic recovered into one job's error: the rest
@@ -152,9 +166,20 @@ type Runner struct {
 	// job-level pool already saturates the machine, so jobs do not
 	// oversubscribe cores. Set it before the first Run.
 	EngineWorkers int
+	// Checkpoints, when non-nil (and CheckpointEvery > 0), persists
+	// mid-job engine checkpoints keyed by job fingerprint: an eligible
+	// job resumes from its latest valid checkpoint instead of cycle 0,
+	// and drops its checkpoints once the result is durable. Results are
+	// byte-identical with or without checkpointing.
+	Checkpoints     *ckpt.Store
+	CheckpointEvery int64
 
 	mu       sync.Mutex
 	sessions map[string]*gcke.Session // derived sessions, deduplicated
+
+	// Checkpoint observability (read via CkptStats, exported by /statz).
+	ckptResumes       atomic.Int64
+	ckptResumedCycles atomic.Int64
 }
 
 // New creates a runner with the given worker count; workers <= 0 selects
@@ -233,7 +258,7 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 		out.Err = err
 		return
 	}
-	if r.Cache != nil {
+	if r.Cache != nil && !j.Fresh {
 		if raw, ok := r.Cache.Get(key); ok {
 			// A checksummed entry that fails to decode means the result
 			// schema moved; fall through to re-simulation.
@@ -244,7 +269,7 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			}
 		}
 	}
-	if r.Journal != nil {
+	if r.Journal != nil && !j.Fresh {
 		var res gcke.WorkloadResult
 		if ok, err := r.Journal.Lookup(key, &res); err != nil {
 			out.Err = fmt.Errorf("runner: reading journal entry %s: %w", key, err)
@@ -284,16 +309,50 @@ func (r *Runner) runJob(ctx context.Context, i int, j *Job, out *Result) {
 			return
 		}
 	}
-	res, err := s.RunWorkloadCtx(jobCtx, j.Kernels, j.Scheme)
-	if err == nil && r.Journal != nil {
+	res, resumedFrom, err := s.RunWorkloadCheckpointedCtx(jobCtx, j.Kernels, j.Scheme, r.checkpoint(key))
+	if resumedFrom > 0 {
+		out.ResumedFrom = resumedFrom
+		r.ckptResumes.Add(1)
+		r.ckptResumedCycles.Add(resumedFrom)
+	}
+	if err == nil && r.Journal != nil && !j.Fresh {
 		if jerr := r.Journal.Append(key, res); jerr != nil {
 			err = fmt.Errorf("runner: checkpointing %s: %w", key, jerr)
 		}
 	}
 	if err == nil {
-		r.cachePut(key, res)
+		if !j.Fresh {
+			r.cachePut(key, res)
+		}
+		// The result is durable (or the caller's problem): the job's
+		// mid-run checkpoints are dead weight now.
+		if r.Checkpoints != nil {
+			r.Checkpoints.Drop(key)
+		}
 	}
 	out.Res, out.Err = res, err
+}
+
+// checkpoint binds the runner's checkpoint store to one job fingerprint
+// for the Session (which never sees keys). Nil when checkpointing is
+// not configured.
+func (r *Runner) checkpoint(key string) *gcke.Checkpoint {
+	if r.Checkpoints == nil || r.CheckpointEvery <= 0 {
+		return nil
+	}
+	st := r.Checkpoints
+	return &gcke.Checkpoint{
+		Every:  r.CheckpointEvery,
+		Latest: func() (int64, []byte, bool) { return st.Latest(key) },
+		Save:   func(cycle int64, state []byte) error { return st.Save(key, cycle, state) },
+	}
+}
+
+// CkptStats reports checkpoint-resume counters: how many jobs resumed
+// from a mid-job checkpoint and how many simulation cycles those
+// resumes skipped.
+func (r *Runner) CkptStats() (resumes, resumedCycles int64) {
+	return r.ckptResumes.Load(), r.ckptResumedCycles.Load()
 }
 
 // cachePut stores a completed result in the result cache. Failures are

@@ -42,10 +42,12 @@ import (
 	gcke "repro"
 	"repro/internal/backoff"
 	"repro/internal/chaos"
+	"repro/internal/ckpt"
 	"repro/internal/journal"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/sm"
+	"repro/internal/stats"
 )
 
 // Config assembles the service. The zero value of every field selects a
@@ -106,6 +108,13 @@ type Config struct {
 	// coordinator can resume a sweep from the union of worker journals
 	// without re-dispatching completed fingerprints.
 	Worker bool
+	// Checkpoints, when non-nil, persists mid-job engine checkpoints
+	// every CheckpointEvery cycles, so a job interrupted by a crash or
+	// kill resumes from its last durable checkpoint instead of cycle 0.
+	Checkpoints *ckpt.Store
+	// CheckpointEvery is the checkpoint interval in simulated cycles
+	// (0 disables checkpointing even with a store configured).
+	CheckpointEvery int64
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +166,7 @@ type Server struct {
 	retries   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	corrupted atomic.Int64 // chaos-corrupted responses sent (dev/test)
 
 	// Aggregate engine-performance gauges over executed (non-replayed)
 	// successful attempts: simulated cycles, wall-clock nanoseconds and
@@ -181,6 +191,8 @@ func New(cfg Config) *Server {
 	r.Check = cfg.Check
 	r.EngineWorkers = cfg.EngineWorkers
 	r.ForkWarmup = cfg.ForkWarmup
+	r.Checkpoints = cfg.Checkpoints
+	r.CheckpointEvery = cfg.CheckpointEvery
 	if cfg.Chaos != nil {
 		r.Fault = cfg.Chaos.JobFault
 		if cfg.Journal != nil {
@@ -188,6 +200,9 @@ func New(cfg Config) *Server {
 		}
 		if cfg.Cache != nil {
 			cfg.Cache.FaultHook = cfg.Chaos.CacheFault
+		}
+		if cfg.Checkpoints != nil {
+			cfg.Checkpoints.FaultHook = cfg.Chaos.CheckpointFault
 		}
 	}
 	s := &Server{
@@ -345,11 +360,21 @@ type JobResponse struct {
 	Error           string               `json:"error,omitempty"`
 	Transient       bool                 `json:"transient,omitempty"`
 	Result          *gcke.WorkloadResult `json:"result,omitempty"`
+	// ResumedFrom is the cycle the job resumed simulation from (0 = a
+	// full run), when mid-job checkpointing is enabled.
+	ResumedFrom int64 `json:"resumed_from,omitempty"`
+	// Digest is the hex sha256 of the marshaled Result, present when the
+	// full result is included. A coordinator verifies the result bytes it
+	// received against it at every hop. It is computed by the worker over
+	// whatever it is about to send — a corrupt worker's digest covers its
+	// corrupt bytes (self-consistent), which is why the audit layer
+	// re-executes rather than re-hashes.
+	Digest string `json:"digest,omitempty"`
 }
 
 func (s *Server) response(index int, res runner.Result, attempts int, full bool) JobResponse {
 	out := JobResponse{Key: res.Key, Index: index, Attempts: attempts,
-		Replayed: res.Replayed, Cached: res.Cached}
+		Replayed: res.Replayed, Cached: res.Cached, ResumedFrom: res.ResumedFrom}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 		out.Transient = runner.IsTransient(res.Err)
@@ -360,8 +385,36 @@ func (s *Server) response(index int, res runner.Result, attempts int, full bool)
 	out.Fairness = res.Res.Fairness()
 	if full {
 		out.Result = res.Res
+		// The silent-corruption seam sits BEFORE the digest so a corrupt
+		// worker is self-consistent: digest and bytes agree, every
+		// per-hop integrity check passes, and only an independent
+		// re-execution on another worker can expose the damage.
+		if s.cfg.Chaos != nil && s.cfg.Chaos.ResultFault(res.Key) {
+			out.Result = corruptResult(res.Res)
+			s.corrupted.Add(1)
+		}
+		if raw, err := json.Marshal(out.Result); err == nil {
+			out.Digest = journal.Digest(raw)
+		}
 	}
 	return out
+}
+
+// corruptResult returns a damaged copy of r — the original stays intact
+// so the worker's own journal/cache keep the true bytes; only the wire
+// response lies. The flip (one bit of an instruction counter) is small
+// enough to pass every sanity check and survive only byte comparison.
+func corruptResult(r *gcke.WorkloadResult) *gcke.WorkloadResult {
+	cp := *r
+	rr := *r.RunResult
+	rr.Kernels = append([]stats.KernelResult(nil), r.RunResult.Kernels...)
+	if len(rr.Kernels) > 0 {
+		rr.Kernels[0].Instrs ^= 1
+	} else {
+		rr.Cycles ^= 1
+	}
+	cp.RunResult = &rr
+	return &cp
 }
 
 // admit claims an admission slot, shedding when Workers+QueueDepth
@@ -537,10 +590,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	// fresh=1 is the audit seam: bypass the cache and journal (read AND
+	// write) and re-simulate from scratch, so a coordinator can obtain a
+	// result that shares no storage with the one it is auditing.
+	fresh := r.URL.Query().Get("fresh") == "1"
+	job.Fresh = fresh
 	// Cache-aware admission: a fingerprint already in the result cache
 	// costs no simulation, so it is served ahead of the breaker and the
 	// admission queue — repeated identical jobs cannot be shed by load.
-	if s.cfg.Cache != nil {
+	if s.cfg.Cache != nil && !fresh {
 		if raw, ok := s.cfg.Cache.Get(key); ok {
 			var wres gcke.WorkloadResult
 			if err := json.Unmarshal(raw, &wres); err == nil {
@@ -690,6 +748,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type JournalEntry struct {
 	Key string          `json:"key"`
 	Val json.RawMessage `json:"val"`
+	// Sha is the hex sha256 of Val as recorded at append time ("" for
+	// entries that predate digests). The coordinator verifies Val
+	// against it before adopting the entry on fleet resume.
+	Sha string `json:"sha,omitempty"`
 }
 
 // handleJournalz streams the worker's checkpoint journal as NDJSON, one
@@ -704,8 +766,8 @@ func (s *Server) handleJournalz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	s.cfg.Journal.Each(func(key string, raw json.RawMessage) error {
-		return enc.Encode(JournalEntry{Key: key, Val: raw})
+	s.cfg.Journal.EachEntry(func(key string, raw json.RawMessage, sha string) error {
+		return enc.Encode(JournalEntry{Key: key, Val: raw, Sha: sha})
 	})
 }
 
@@ -753,6 +815,16 @@ type Stats struct {
 	// bytes held in cached snapshots.
 	ForksTaken    int64 `json:"forks_taken"`
 	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// Mid-job checkpoint gauges (zero when no checkpoint store is
+	// configured): checkpoints persisted, checkpoint files rejected by
+	// the load-time digest, jobs resumed from a checkpoint, and the sum
+	// of cycles those resumes skipped re-simulating.
+	CkptSaves         int64 `json:"ckpt_saves,omitempty"`
+	CkptCorrupt       int64 `json:"ckpt_corrupt,omitempty"`
+	CkptResumes       int64 `json:"ckpt_resumes,omitempty"`
+	CkptResumedCycles int64 `json:"ckpt_resumed_cycles,omitempty"`
+	// Corrupted counts chaos-damaged responses sent (dev/test only).
+	Corrupted int64 `json:"corrupted,omitempty"`
 }
 
 // StatsSnapshot returns current counters (also served at /statz).
@@ -792,6 +864,13 @@ func (s *Server) StatsSnapshot() Stats {
 		st.CacheLen = s.cfg.Cache.Len()
 	}
 	st.ForksTaken, st.SnapshotBytes = s.run.ForkStats()
+	if s.cfg.Checkpoints != nil {
+		ck := s.cfg.Checkpoints.Stats()
+		st.CkptSaves = ck.Saves
+		st.CkptCorrupt = ck.Corrupt
+	}
+	st.CkptResumes, st.CkptResumedCycles = s.run.CkptStats()
+	st.Corrupted = s.corrupted.Load()
 	return st
 }
 

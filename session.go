@@ -339,6 +339,20 @@ func wsSweetSpot(cfg *Config, descs []*kern.Desc, curves [][]float64) ([]int, fl
 	return core.SweetSpot(cfg, descs, curves)
 }
 
+// Checkpoint wires a persistent checkpoint store into one workload run.
+// Latest is consulted once at run start (a valid checkpoint short-cuts
+// the first cycles); Save is called every Every cycles with the encoded
+// machine state. Both closures are pre-bound to the job's fingerprint
+// by the caller (internal/runner) — the Session never sees keys.
+// Checkpointing is strictly a recovery optimization: any Latest/Save
+// failure degrades to a from-zero run / no further checkpoints, never
+// to a run failure, and results are byte-identical either way.
+type Checkpoint struct {
+	Every  int64
+	Latest func() (cycle int64, state []byte, ok bool)
+	Save   func(cycle int64, state []byte) error
+}
+
 // RunWorkload simulates the kernels concurrently under scheme.
 func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, error) {
 	return s.RunWorkloadCtx(context.Background(), ds, scheme)
@@ -349,14 +363,28 @@ func (s *Session) RunWorkload(ds []Kernel, scheme Scheme) (*WorkloadResult, erro
 // triggers, returning an error wrapping both gpu.ErrInterrupted and the
 // context's cause.
 func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme) (*WorkloadResult, error) {
+	res, _, err := s.RunWorkloadCheckpointedCtx(ctx, ds, scheme, nil)
+	return res, err
+}
+
+// RunWorkloadCheckpointedCtx is RunWorkloadCtx with optional mid-job
+// checkpointing: with a non-nil ck the evaluation run resumes from the
+// latest valid checkpoint (resumedFrom reports the cycle, 0 for a
+// from-zero run) and persists a new checkpoint every ck.Every cycles.
+// Schemes whose evaluation leg re-enters the Session-side control plane
+// mid-run — hook-driven controllers (DynWS, TBThrottle, L2MIL), UCP
+// repartitioning, warmup legs — are silently ineligible and run
+// normally: their out-of-engine state is not in the snapshot, and
+// resuming them would diverge from an unfaulted run.
+func (s *Session) RunWorkloadCheckpointedCtx(ctx context.Context, ds []Kernel, scheme Scheme, ck *Checkpoint) (*WorkloadResult, int64, error) {
 	if len(ds) == 0 {
-		return nil, fmt.Errorf("gcke: empty workload")
+		return nil, 0, fmt.Errorf("gcke: empty workload")
 	}
 	if err := scheme.Validate(len(ds)); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if scheme.Warmup >= s.cycles {
-		return nil, fmt.Errorf("gcke: Warmup (%d) must be shorter than the run (%d cycles)", scheme.Warmup, s.cycles)
+		return nil, 0, fmt.Errorf("gcke: Warmup (%d) must be shorter than the run (%d cycles)", scheme.Warmup, s.cycles)
 	}
 	descs := toPtrs(ds)
 
@@ -365,7 +393,7 @@ func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme
 	for i := range ds {
 		r, err := s.RunIsolatedCtx(ctx, ds[i])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		isolated[i] = r.Kernels[0].IPC
 	}
@@ -386,7 +414,7 @@ func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme
 		var err error
 		row, theoWS, err = s.PartitionCtx(ctx, ds, scheme.Partition, scheme.ManualTBs)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		quota = gpu.UniformQuota(s.cfg.NumSMs, row)
 	}
@@ -474,9 +502,16 @@ func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme
 		}
 	}
 
-	res, err := s.execute(ctx, descs, quota, scheme.Warmup, opts)
+	var res *stats.RunResult
+	var resumedFrom int64
+	var err error
+	if ck != nil && ck.Every > 0 && opts.Hook == nil && !opts.UCP.Enabled && scheme.Warmup <= 0 {
+		res, resumedFrom, err = s.executeCheckpointed(ctx, descs, opts, ck)
+	} else {
+		res, err = s.execute(ctx, descs, quota, scheme.Warmup, opts)
+	}
 	if err != nil {
-		return nil, wrapInterrupt(ctx, err)
+		return nil, resumedFrom, wrapInterrupt(ctx, err)
 	}
 	if dynws != nil {
 		row = dynws.Partition
@@ -488,7 +523,56 @@ func (s *Session) RunWorkloadCtx(ctx context.Context, ds []Kernel, scheme Scheme
 		TBPartition:   row,
 		IsolatedIPC:   isolated,
 		TheoreticalWS: theoWS,
-	}, nil
+	}, resumedFrom, nil
+}
+
+// executeCheckpointed runs the evaluation simulation with mid-job
+// checkpointing: build the machine exactly as a from-zero run would
+// (gpu.New installs the scheme's policies and sizes series buckets from
+// the full run length), adopt the latest valid checkpoint if one exists
+// and run only the remaining cycles, persisting fresh checkpoints along
+// the way. Every failure mode degrades — bad checkpoint bytes mean a
+// from-zero run, a failing sink disables further checkpoints — so the
+// result is byte-identical to an uncheckpointed run in all cases.
+func (s *Session) executeCheckpointed(ctx context.Context, descs []*kern.Desc, opts *gpu.Options, ck *Checkpoint) (*stats.RunResult, int64, error) {
+	g, err := gpu.New(s.cfg, descs, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() { g.Close() }()
+	var resumedFrom int64
+	if cycle, state, ok := ck.Latest(); ok && cycle > 0 && cycle < s.cycles {
+		if sn, derr := gpu.DecodeSnapshot(state); derr == nil && sn.Cycle() == cycle {
+			if rerr := g.RestoreCheckpoint(sn); rerr == nil {
+				resumedFrom = cycle
+			} else {
+				// A failed restore may have partially overwritten the
+				// machine; rebuild it for the from-zero fallback.
+				g.Close()
+				if g, err = gpu.New(s.cfg, descs, opts); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	run := *opts
+	run.Cycles = s.cycles - resumedFrom
+	run.CheckpointEvery = ck.Every
+	run.Checkpoint = func(g *gpu.GPU, cycle int64) error {
+		sn, err := g.SnapshotCheckpoint()
+		if err != nil {
+			return err
+		}
+		state, err := gpu.EncodeSnapshot(sn)
+		if err != nil {
+			return err
+		}
+		return ck.Save(cycle, state)
+	}
+	if err := g.RunCycles(&run); err != nil {
+		return nil, resumedFrom, err
+	}
+	return g.Result(), resumedFrom, nil
 }
 
 // execute runs the evaluation simulation. With warmup <= 0 it is a
