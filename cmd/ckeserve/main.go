@@ -45,6 +45,9 @@ func main() {
 	forkWarmup := flag.Bool("fork-warmup", false, "fork jobs sharing a warmup family from one warmed engine snapshot (needs scheme Warmup cycles)")
 	check := flag.Bool("check", false, "enable the per-cycle simulator invariant watchdog")
 	engineWorkers := flag.Int("engine-workers", 0, "SM-tick goroutines per executing job (0 = GOMAXPROCS/slots; results are identical)")
+	targetLatency := flag.Duration("target-latency", 0, "AIMD per-attempt latency target; the in-flight limit adapts toward it (0 = fixed slots+queue bound)")
+	retryBudget := flag.Float64("retry-budget", 0.1, "retry tokens earned per completed job (retries beyond the budget fail fast)")
+	retryBurst := flag.Float64("retry-burst", 10, "retry-budget token cap (also the initial balance)")
 	breakerN := flag.Int("breaker-threshold", 3, "invariant violations per job fingerprint before its circuit opens")
 	breakerCool := flag.Duration("breaker-cooldown", time.Minute, "how long an open circuit sheds before allowing a probe")
 	chaosSpec := flag.String("chaos", "", "deterministic fault injection (dev only), e.g. panic=0.5,hang=0.2,journal=0.1,invariant=0.05,corrupt=0.3,seed=42,failures=1")
@@ -59,6 +62,9 @@ func main() {
 		JobTimeout:       *timeout,
 		MaxRetries:       *retries,
 		Retry:            backoff.Default(),
+		TargetLatency:    *targetLatency,
+		RetryBudgetRatio: *retryBudget,
+		RetryBudgetBurst: *retryBurst,
 		BreakerThreshold: *breakerN,
 		BreakerCooldown:  *breakerCool,
 		Check:            *check,

@@ -50,6 +50,9 @@ func main() {
 	fleetSlots := flag.Int("fleet-slots", 0, "concurrent dispatches per worker (0 = 2; keep at or below each worker's admission capacity)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "floor of the straggler-hedge threshold (0 = hedge only once a latency EWMA exists; negative disables hedging)")
 	auditRate := flag.Float64("audit-rate", 0, "fraction of completed grid points re-executed on a different worker and byte-compared; divergence quarantines the lying worker (0 = off, 1 = audit everything)")
+	fleetRetryBudget := flag.Float64("fleet-retry-budget", 0.1, "requeue tokens earned per audited completion; past-budget requeues are paced, never dropped")
+	fleetRetryBurst := flag.Float64("fleet-retry-burst", 32, "fleet retry-budget token cap (also the initial balance)")
+	fleetRetryWait := flag.Duration("fleet-retry-wait", 15*time.Second, "pacing delay applied to a requeue when the retry budget is empty")
 	rb := cli.AddFlags(flag.CommandLine)
 	prof := cli.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,13 +69,16 @@ func main() {
 
 	if *fleetWorkers != "" {
 		code := fleetSweep(ctx, rb, fleetOptions{
-			workers:    strings.Split(*fleetWorkers, ","),
-			addr:       *fleetAddr,
-			chaosSpec:  *fleetChaos,
-			attempts:   *fleetAttempts,
-			slots:      *fleetSlots,
-			hedgeAfter: *hedgeAfter,
-			auditRate:  *auditRate,
+			workers:     strings.Split(*fleetWorkers, ","),
+			addr:        *fleetAddr,
+			chaosSpec:   *fleetChaos,
+			attempts:    *fleetAttempts,
+			slots:       *fleetSlots,
+			hedgeAfter:  *hedgeAfter,
+			auditRate:   *auditRate,
+			retryBudget: *fleetRetryBudget,
+			retryBurst:  *fleetRetryBurst,
+			retryWait:   *fleetRetryWait,
 		}, *pair, *sms, *cycles, *grid, *warmup)
 		stopProf()
 		os.Exit(code)
@@ -187,13 +193,16 @@ func main() {
 
 // fleetOptions carries the -fleet* flag values into fleetSweep.
 type fleetOptions struct {
-	workers    []string
-	addr       string
-	chaosSpec  string
-	attempts   int
-	slots      int
-	hedgeAfter time.Duration
-	auditRate  float64
+	workers     []string
+	addr        string
+	chaosSpec   string
+	attempts    int
+	slots       int
+	hedgeAfter  time.Duration
+	auditRate   float64
+	retryBudget float64
+	retryBurst  float64
+	retryWait   time.Duration
 }
 
 // fleetSweep shards the grid across remote workers via the fleet
@@ -237,15 +246,18 @@ func fleetSweep(ctx context.Context, rb *cli.Robustness, o fleetOptions, pair st
 		return 1
 	}
 	cfg := fleet.Config{
-		Workers:        o.workers,
-		JobTimeout:     rb.Timeout,
-		MaxAttempts:    o.attempts,
-		SlotsPerWorker: o.slots,
-		Retry:          backoff.Default(),
-		HedgeAfter:     o.hedgeAfter,
-		AuditRate:      o.auditRate,
-		Journal:        jnl,
-		Logf:           log.Printf,
+		Workers:          o.workers,
+		JobTimeout:       rb.Timeout,
+		MaxAttempts:      o.attempts,
+		SlotsPerWorker:   o.slots,
+		Retry:            backoff.Default(),
+		HedgeAfter:       o.hedgeAfter,
+		AuditRate:        o.auditRate,
+		RetryBudgetRatio: o.retryBudget,
+		RetryBudgetBurst: o.retryBurst,
+		RetryBudgetWait:  o.retryWait,
+		Journal:          jnl,
+		Logf:             log.Printf,
 	}
 	if o.chaosSpec != "" {
 		ccfg, err := chaos.Parse(o.chaosSpec)
@@ -273,8 +285,8 @@ func fleetSweep(ctx context.Context, rb *cli.Robustness, o fleetOptions, pair st
 	}
 	runErr := c.Run(ctx, reqs, os.Stdout)
 	st := c.StatsSnapshot()
-	log.Printf("fleet: %d completed (%d resumed), %d failed, %d dispatches, %d requeues, %d sheds, %d hedges (%d won), %d ejections, %d audits (%d mismatched), %d quarantined",
-		st.Completed, st.Resumed, st.Failed, st.Dispatched, st.Requeues, st.Shed429, st.Hedges, st.HedgeWins, st.Ejections, st.Audits, st.AuditMismatches, st.Quarantined)
+	log.Printf("fleet: %d completed (%d resumed), %d failed, %d dispatches, %d requeues (%d budget-paced), %d sheds, %d hedges (%d won), %d ejections, %d audits (%d mismatched), %d quarantined",
+		st.Completed, st.Resumed, st.Failed, st.Dispatched, st.Requeues, st.RetryBudgetWaits, st.Shed429, st.Hedges, st.HedgeWins, st.Ejections, st.Audits, st.AuditMismatches, st.Quarantined)
 	if jnl != nil {
 		if err := jnl.Close(); err != nil {
 			log.Print(err)

@@ -65,6 +65,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/journal"
+	"repro/internal/overload"
 	"repro/internal/server"
 	"repro/internal/xrand"
 )
@@ -124,6 +125,17 @@ type Config struct {
 	AuditRate float64
 	// AuditSeed salts audit selection (default 0).
 	AuditSeed uint64
+	// RetryBudgetRatio is the coordinator's retry-budget refill per
+	// completed job (default 0.1); RetryBudgetBurst is the bucket's
+	// capacity and initial balance (default 32; negative = literal 0).
+	// The budget paces requeues rather than failing them: a requeue with
+	// no token waits out RetryBudgetWait (default 15s) first, so a fleet
+	// whose dispatches are all failing stops hammering itself without
+	// ever abandoning a job the MaxAttempts cap would still allow. 429
+	// sheds are backpressure, not retries — they stay exempt.
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	RetryBudgetWait  time.Duration
 	// Logf receives operational events (ejections, requeues, hedges);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -147,6 +159,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlotsPerWorker <= 0 {
 		c.SlotsPerWorker = 2
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetRatio < 0 {
+		c.RetryBudgetRatio = 0
+	}
+	if c.RetryBudgetBurst == 0 {
+		c.RetryBudgetBurst = 32
+	}
+	if c.RetryBudgetBurst < 0 {
+		c.RetryBudgetBurst = 0
+	}
+	if c.RetryBudgetWait <= 0 {
+		c.RetryBudgetWait = 15 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -220,6 +247,10 @@ type Coordinator struct {
 	client  *http.Client
 	workers []*worker
 	rr      atomic.Int64 // round-robin dispatch offset
+	// budget meters requeues: completed jobs refill it, each requeue
+	// spends a token, and an empty bucket paces the requeue by
+	// RetryBudgetWait instead of firing it on the backoff schedule.
+	budget *overload.RetryBudget
 
 	// latEWMA is the moving average of successful dispatch latencies in
 	// nanoseconds; it sizes the straggler-hedge threshold.
@@ -243,6 +274,7 @@ type Coordinator struct {
 	digestMismatches atomic.Int64 // responses/entries failing their own digest
 	drainSkips       atomic.Int64 // draining transitions observed by /readyz probes
 	resumeRejects    atomic.Int64 // resume entries rejected by digest verification
+	budgetWaits      atomic.Int64 // requeues paced because the retry budget ran dry
 }
 
 // New assembles a coordinator for the given worker set.
@@ -254,6 +286,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:    cfg,
 		client: &http.Client{Transport: cfg.Transport},
+		budget: overload.NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
 	}
 	for _, u := range cfg.Workers {
 		w := &worker{
@@ -361,7 +394,7 @@ func (c *Coordinator) group(reqs []server.JobRequest) ([]*task, []int, error) {
 	at := make(map[string]int) // fingerprint -> index in tasks
 	slot := make([]int, len(reqs))
 	for i := range reqs {
-		_, key, timeout, err := reqs[i].Build()
+		_, key, limits, err := reqs[i].Build()
 		if err != nil {
 			return nil, nil, fmt.Errorf("fleet: job %d: %w", i, err)
 		}
@@ -373,7 +406,7 @@ func (c *Coordinator) group(reqs []server.JobRequest) ([]*task, []int, error) {
 			}
 			j = len(tasks)
 			at[key] = j
-			tasks = append(tasks, &task{key: key, body: body, timeout: timeout})
+			tasks = append(tasks, &task{key: key, body: body, timeout: limits.Timeout})
 		}
 		slot[i] = j
 	}
@@ -469,6 +502,7 @@ func (c *Coordinator) lifecycle(ctx context.Context, t *task, done chan<- *task)
 				o.ok, o.reason = false, "audit condemned the result"
 				break
 			}
+			c.budget.Earn()
 			return
 		case o.permanent:
 			t.errText = o.errText
@@ -495,6 +529,18 @@ func (c *Coordinator) lifecycle(ctx context.Context, t *task, done chan<- *task)
 		delay := c.cfg.Retry.Delay(t.key, attempt)
 		if o.retryAfter > delay {
 			delay = o.retryAfter
+		}
+		if !o.shed && !c.budget.Spend() {
+			// The retry budget ran dry: the fleet's failures are no longer
+			// a bounded fraction of its successes, so this requeue is load
+			// amplification. Pace it — stretch the wait to RetryBudgetWait
+			// and then proceed; MaxAttempts stays the only thing that
+			// abandons a job. (429 backpressure never reaches here.)
+			c.budgetWaits.Add(1)
+			c.cfg.Logf("fleet: retry budget dry: pacing requeue of %s by %s", t.key, c.cfg.RetryBudgetWait)
+			if c.cfg.RetryBudgetWait > delay {
+				delay = c.cfg.RetryBudgetWait
+			}
 		}
 		timer := time.NewTimer(delay)
 		select {
@@ -741,6 +787,17 @@ scan:
 // lease set BEFORE its liveness goes red, so the coordinator stops
 // bouncing new work off its 503s; it rejoins when /readyz recovers.
 func (c *Coordinator) probe(ctx context.Context, w *worker) {
+	// Deterministic per-worker phase jitter: after a coordinator
+	// (re)start every prober goroutine begins at the same instant, so
+	// without a phase offset a large fleet's probes all land on the same
+	// tick forever — a self-inflicted thundering herd against its own
+	// workers' /healthz. The offset is a pure function of the worker URL,
+	// so probe timing stays reproducible run to run.
+	select {
+	case <-ctx.Done():
+		return
+	case <-time.After(proberPhase(w.url, c.cfg.HealthInterval)):
+	}
 	tick := time.NewTicker(c.cfg.HealthInterval)
 	defer tick.Stop()
 	for {
@@ -774,6 +831,19 @@ func (c *Coordinator) probe(ctx context.Context, w *worker) {
 			c.cfg.Logf("fleet: %s ready again: leases restored", w.url)
 		}
 	}
+}
+
+// proberPhase is the worker's deterministic probe-phase offset in
+// [0, interval): fnv64a over the URL seeds xrand, so distinct workers
+// start their probe cycles spread across the interval.
+func proberPhase(url string, interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	h.Write([]byte("/probe-phase"))
+	return time.Duration(xrand.New(h.Sum64()).Uint64n(uint64(interval)))
 }
 
 // get performs one bounded control-plane GET, reporting a 200.
@@ -944,6 +1014,11 @@ type Stats struct {
 	DigestMismatches int64 `json:"digest_mismatches"`
 	ResumeRejects    int64 `json:"resume_rejects"`
 	DrainSkips       int64 `json:"drain_skips"`
+	// Retry-budget gauges: the bucket's current balance and how many
+	// requeues were paced (delayed by RetryBudgetWait) because it ran
+	// dry.
+	RetryBudgetTokens float64 `json:"retry_budget_tokens"`
+	RetryBudgetWaits  int64   `json:"retry_budget_waits"`
 }
 
 // StatsSnapshot returns current fleet counters.
@@ -968,6 +1043,9 @@ func (c *Coordinator) StatsSnapshot() Stats {
 		DigestMismatches: c.digestMismatches.Load(),
 		ResumeRejects:    c.resumeRejects.Load(),
 		DrainSkips:       c.drainSkips.Load(),
+
+		RetryBudgetTokens: c.budget.Tokens(),
+		RetryBudgetWaits:  c.budgetWaits.Load(),
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{

@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestScheduleFixedIsClosedForm(t *testing.T) {
+	sched, err := Schedule("fixed", 1, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range sched {
+		want := time.Duration(i) * 100 * time.Millisecond
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestSchedulePoissonDeterministicAndCalibrated(t *testing.T) {
+	a, err := Schedule("poisson", 42, 100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Schedule("poisson", 42, 100, 2000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, _ := Schedule("poisson", 43, 100, 2000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+	// Monotone non-decreasing, and mean inter-arrival ~ 1/rate: 2000
+	// exponential samples put the sample mean within a few percent.
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("schedule not monotone at %d", i)
+		}
+	}
+	mean := a[len(a)-1].Seconds() / float64(len(a))
+	if math.Abs(mean-0.01) > 0.002 {
+		t.Fatalf("poisson mean inter-arrival %vs, want ~0.01s", mean)
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	if _, err := Schedule("poisson", 1, 0, 10); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Schedule("weibull", 1, 10, 10); err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+}
+
+func TestRequestsCycleDistinctFingerprints(t *testing.T) {
+	cfg := Config{Unique: 4}.withDefaults()
+	keys := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		req := cfg.request(i)
+		_, key, _, err := req.Build()
+		if err != nil {
+			t.Fatalf("request %d does not build: %v", i, err)
+		}
+		keys[key] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("8 requests over Unique=4 minted %d fingerprints, want 4", len(keys))
+	}
+}
+
+func TestParseMultipliers(t *testing.T) {
+	ms, err := ParseMultipliers("5, 1,2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 || ms[0] != 1 || ms[1] != 2.5 || ms[2] != 5 {
+		t.Fatalf("parsed %v, want sorted [1 2.5 5]", ms)
+	}
+	if _, err := ParseMultipliers("1,-2"); err == nil {
+		t.Fatal("negative multiplier accepted")
+	}
+	if _, err := ParseMultipliers(""); err == nil {
+		t.Fatal("empty multiplier list accepted")
+	}
+}
+
+// TestRunStageClassifiesOutcomes drives a stage against a scripted
+// handler: successes, sheds, 504 deadline misses and 500s must land in
+// their own buckets, and goodput must count only within-deadline 2xxs.
+func TestRunStageClassifiesOutcomes(t *testing.T) {
+	var i atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch i.Add(1) % 4 {
+		case 1:
+			w.WriteHeader(http.StatusOK)
+			json.NewEncoder(w).Encode(server.JobResponse{})
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 3:
+			w.WriteHeader(http.StatusGatewayTimeout)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	st, err := RunStage(context.Background(), Config{
+		URL:      ts.URL,
+		Rate:     400,
+		Duration: 100 * time.Millisecond,
+		Deadline: 5 * time.Second,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered != 40 {
+		t.Fatalf("offered = %d, want 40", st.Offered)
+	}
+	if st.Completed != 10 || st.Shed != 10 || st.Missed != 10 || st.Errors != 10 {
+		t.Fatalf("classification off: %+v", st)
+	}
+	if st.LateServed != 0 {
+		t.Fatalf("late_served = %d for instant responses, want 0", st.LateServed)
+	}
+	if st.GoodputPerSec <= 0 {
+		t.Fatalf("goodput = %v, want > 0", st.GoodputPerSec)
+	}
+	if st.P99Ms <= 0 {
+		t.Fatalf("p99 = %v over admitted jobs, want > 0", st.P99Ms)
+	}
+}
+
+// TestRunStageOpenLoopDoesNotSelfThrottle: a server that answers each
+// request only after 300ms must still receive every scheduled arrival
+// within the stage window — a closed-loop generator would serialize
+// behind it and take seconds.
+func TestRunStageOpenLoopDoesNotSelfThrottle(t *testing.T) {
+	var peak, cur atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(300 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	st, err := RunStage(context.Background(), Config{
+		URL:      ts.URL,
+		Rate:     100,
+		Duration: 200 * time.Millisecond, // 20 arrivals inside 200ms
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if st.Offered != 20 {
+		t.Fatalf("offered = %d, want 20", st.Offered)
+	}
+	// Closed-loop worst case would be 20 x 300ms = 6s; open loop is
+	// schedule (200ms) + one response time (300ms) + slack.
+	if elapsed > 3*time.Second {
+		t.Fatalf("stage took %v — the generator throttled behind the server", elapsed)
+	}
+	// The slow server must have seen real concurrency: arrivals kept
+	// firing while earlier requests were still being held.
+	if peak.Load() < 5 {
+		t.Fatalf("peak concurrency %d, want >= 5 (open loop)", peak.Load())
+	}
+}
+
+func TestGoodputRatio(t *testing.T) {
+	r := Report{Stages: []Stage{
+		{Multiplier: 1, GoodputPerSec: 10},
+		{Multiplier: 5, GoodputPerSec: 9},
+	}}
+	if got := r.GoodputRatio(5); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.9", got)
+	}
+	empty := Report{}
+	if got := empty.GoodputRatio(5); got != 0 {
+		t.Fatalf("ratio on empty report = %v, want 0", got)
+	}
+}

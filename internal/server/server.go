@@ -44,11 +44,24 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/ckpt"
 	"repro/internal/journal"
+	"repro/internal/overload"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/sm"
 	"repro/internal/stats"
 )
+
+// ErrStale marks a job whose deadline became unmeetable while it waited
+// in the admission queue: the dequeue-time re-check drops it before it
+// burns an engine slot, and the handler sheds it like an arrival-time
+// deadline rejection (429).
+var ErrStale = errors.New("deadline overrun while queued")
+
+// ErrDeadlineMiss marks a job that finished simulating after its
+// deadline had already passed. The server never returns such a result as
+// a success — a deadline-carrying client has, by definition, stopped
+// caring, and counting it as goodput would hide overload.
+var ErrDeadlineMiss = errors.New("completed past deadline")
 
 // Config assembles the service. The zero value of every field selects a
 // sensible default (see the field comments).
@@ -115,6 +128,20 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in simulated cycles
 	// (0 disables checkpointing even with a store configured).
 	CheckpointEvery int64
+	// TargetLatency drives the adaptive (AIMD) in-flight limit: while
+	// per-attempt latency stays at or under the target the admission
+	// limit creeps up toward Workers+QueueDepth; every overrun shrinks
+	// it multiplicatively (floor 1). Zero disables adaptation and keeps
+	// the fixed Workers+QueueDepth bound as the admission gate.
+	TargetLatency time.Duration
+	// RetryBudgetRatio is the retry-budget refill per completed success
+	// (default 0.1 — retries bounded at ~10% of fresh traffic).
+	// Negative clamps to 0.
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the retry token bucket's capacity and initial
+	// balance (default 10). Negative selects a literal 0 — no retries
+	// ever, for tests pinning exhaustion behaviour.
+	RetryBudgetBurst float64
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +172,18 @@ func (c Config) withDefaults() Config {
 			c.EngineWorkers = 1
 		}
 	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetRatio < 0 {
+		c.RetryBudgetRatio = 0
+	}
+	if c.RetryBudgetBurst == 0 {
+		c.RetryBudgetBurst = 10
+	}
+	if c.RetryBudgetBurst < 0 {
+		c.RetryBudgetBurst = 0
+	}
 	return c
 }
 
@@ -160,9 +199,21 @@ type Server struct {
 	hs      atomic.Pointer[http.Server]
 	drainng atomic.Bool
 
+	// Overload control: the AIMD limit is the admission gate (its
+	// ceiling is the old fixed Workers+QueueDepth bound), the estimator
+	// prices deadline admission per job family, the budget meters
+	// retries, and the wait ring feeds /statz queue-wait percentiles.
+	aimd   *overload.AIMD
+	budget *overload.RetryBudget
+	est    *overload.Estimator
+	waits  *overload.WaitRing
+
 	accepted  atomic.Int64
 	shedQueue atomic.Int64
 	shedBrk   atomic.Int64
+	shedDline atomic.Int64 // deadline sheds (arrival + dequeue-stale)
+	shedRetry atomic.Int64 // retries denied by the exhausted budget
+	dlineLate atomic.Int64 // successes converted to 504 by the deadline guard
 	retries   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -206,11 +257,15 @@ func New(cfg Config) *Server {
 		}
 	}
 	s := &Server{
-		cfg:   cfg,
-		run:   r,
-		slots: make(chan struct{}, cfg.Workers),
-		brk:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		run:    r,
+		slots:  make(chan struct{}, cfg.Workers),
+		brk:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		mux:    http.NewServeMux(),
+		aimd:   overload.NewAIMD(cfg.TargetLatency, cfg.Workers+cfg.QueueDepth),
+		budget: overload.NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		est:    overload.NewEstimator(),
+		waits:  overload.NewWaitRing(0),
 	}
 	s.mux.HandleFunc("/jobs", s.handleJob)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
@@ -297,41 +352,62 @@ type JobRequest struct {
 	// Timeout, when set (Go duration string), bounds the job's whole
 	// retry loop — layered on the server's per-attempt JobTimeout.
 	Timeout string `json:"timeout,omitempty"`
+	// Deadline, when set (Go duration string), is the client's
+	// end-to-end latency budget: the server sheds the job as soon as
+	// queue-wait plus estimated service time can no longer fit inside
+	// it, drops it at dequeue if it went stale while queued, and never
+	// returns a success past it (504 instead).
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// Limits are the request-level time bounds parsed out of a JobRequest.
+// Timeout bounds the retry loop; Deadline is the admission-control
+// budget (zero = the client did not state one).
+type Limits struct {
+	Timeout  time.Duration
+	Deadline time.Duration
 }
 
 // Build validates the request into a runnable job plus its fingerprint
-// and optional request-level deadline. It is exported for the fleet
-// coordinator, which shards and journals by the same fingerprint the
-// worker will compute — content addressing only dedupes duplicate
-// completions if both sides derive the key from the identical job.
-func (req *JobRequest) Build() (runner.Job, string, time.Duration, error) {
+// and request-level limits. It is exported for the fleet coordinator,
+// which shards and journals by the same fingerprint the worker will
+// compute — content addressing only dedupes duplicate completions if
+// both sides derive the key from the identical job.
+func (req *JobRequest) Build() (runner.Job, string, Limits, error) {
 	if req.SMs <= 0 {
 		req.SMs = 4
 	}
 	if req.Cycles <= 0 {
-		return runner.Job{}, "", 0, fmt.Errorf("cycles must be positive")
+		return runner.Job{}, "", Limits{}, fmt.Errorf("cycles must be positive")
 	}
 	if len(req.Kernels) == 0 {
-		return runner.Job{}, "", 0, fmt.Errorf("kernels must name at least one benchmark")
+		return runner.Job{}, "", Limits{}, fmt.Errorf("kernels must name at least one benchmark")
 	}
 	ds := make([]gcke.Kernel, len(req.Kernels))
 	for i, name := range req.Kernels {
 		d, err := gcke.Benchmark(name)
 		if err != nil {
-			return runner.Job{}, "", 0, err
+			return runner.Job{}, "", Limits{}, err
 		}
 		ds[i] = d
 	}
 	if err := req.Scheme.Validate(len(ds)); err != nil {
-		return runner.Job{}, "", 0, err
+		return runner.Job{}, "", Limits{}, err
 	}
-	var timeout time.Duration
+	var lim Limits
 	if req.Timeout != "" {
 		d, err := time.ParseDuration(req.Timeout)
 		if err != nil || d <= 0 {
-			return runner.Job{}, "", 0, fmt.Errorf("timeout %q: want a positive Go duration", req.Timeout)
+			return runner.Job{}, "", Limits{}, fmt.Errorf("timeout %q: want a positive Go duration", req.Timeout)
 		}
-		timeout = d
+		lim.Timeout = d
+	}
+	if req.Deadline != "" {
+		d, err := time.ParseDuration(req.Deadline)
+		if err != nil || d <= 0 {
+			return runner.Job{}, "", Limits{}, fmt.Errorf("deadline %q: want a positive Go duration", req.Deadline)
+		}
+		lim.Deadline = d
 	}
 	job := runner.Job{
 		Config:        gcke.ScaledConfig(req.SMs),
@@ -342,9 +418,16 @@ func (req *JobRequest) Build() (runner.Job, string, time.Duration, error) {
 	}
 	key, err := job.Key()
 	if err != nil {
-		return runner.Job{}, "", 0, err
+		return runner.Job{}, "", Limits{}, err
 	}
-	return job, key, timeout, nil
+	return job, key, lim, nil
+}
+
+// Family is the service-time estimator key for this request: machine
+// size, run length and kernel mix — the cost-dominating fields. Call
+// after Build (which defaults SMs).
+func (req *JobRequest) Family() string {
+	return overload.Family(req.SMs, req.Cycles, req.Kernels)
 }
 
 // JobResponse is the wire shape of one job outcome.
@@ -417,10 +500,13 @@ func corruptResult(r *gcke.WorkloadResult) *gcke.WorkloadResult {
 	return &cp
 }
 
-// admit claims an admission slot, shedding when Workers+QueueDepth
-// requests are already in the building.
+// admit claims an admission slot, shedding when the adaptive in-flight
+// limit is reached. The limit is the AIMD value — at most the old fixed
+// Workers+QueueDepth bound (its ceiling, and the exact gate when
+// TargetLatency is unset), shrinking toward 1 while attempts overrun
+// the latency target.
 func (s *Server) admit() bool {
-	if s.queued.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+	if s.queued.Add(1) > int64(s.aimd.Limit()) {
 		s.queued.Add(-1)
 		s.shedQueue.Add(1)
 		return false
@@ -432,23 +518,39 @@ func (s *Server) admit() bool {
 func (s *Server) release() { s.queued.Add(-1) }
 
 // executeSlot runs one job through the retry loop on an execution slot.
-func (s *Server) executeSlot(ctx context.Context, job runner.Job, key string) (runner.Result, int) {
+// family keys the service-time estimator; deadlineAt, when non-zero, is
+// the job's absolute deadline — re-checked here, at dequeue, so work
+// that went stale while queued is dropped (ErrStale) before it burns
+// the slot it just acquired.
+func (s *Server) executeSlot(ctx context.Context, job runner.Job, key, family string, deadlineAt time.Time) (runner.Result, int) {
+	enqueued := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
 		return runner.Result{Key: key, Err: ctx.Err()}, 0
 	}
 	defer func() { <-s.slots }()
-	return s.execute(ctx, job, key)
+	s.waits.Observe(time.Since(enqueued))
+	if !deadlineAt.IsZero() {
+		now := time.Now()
+		est, ok := s.est.Estimate(family)
+		if now.After(deadlineAt) || (ok && now.Add(est).After(deadlineAt)) {
+			s.shedDline.Add(1)
+			return runner.Result{Key: key, Err: ErrStale}, 0
+		}
+	}
+	return s.execute(ctx, job, key, family, deadlineAt)
 }
 
 // execute is the retry loop: run, classify, back off, re-run. Transient
 // failures (recovered panic, per-attempt deadline) are retried up to
-// MaxRetries times with deterministic per-fingerprint backoff jitter;
-// everything else — cancellation, validation, invariant violations,
+// MaxRetries times with deterministic per-fingerprint backoff jitter —
+// each retry also spends a retry-budget token, so aggregate retries stay
+// a bounded fraction of fresh traffic even when everything is failing.
+// Everything else — cancellation, validation, invariant violations,
 // journal write errors — returns immediately. Invariant violations are
 // additionally scored against the fingerprint's circuit breaker.
-func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runner.Result, int) {
+func (s *Server) execute(ctx context.Context, job runner.Job, key, family string, deadlineAt time.Time) (runner.Result, int) {
 	attempts := 0
 	var last runner.Result
 	for {
@@ -469,6 +571,7 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 		runtime.ReadMemStats(&m0)
 		res := s.run.Run(ctx, []runner.Job{job})[0]
 		if res.Err == nil {
+			d := time.Since(start)
 			if !res.Replayed {
 				// Engine-performance gauges: concurrent jobs share the
 				// process heap, so allocs/cycle is an aggregate
@@ -476,13 +579,41 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 				var m1 runtime.MemStats
 				runtime.ReadMemStats(&m1)
 				s.simCycles.Add(job.Cycles)
-				s.simNanos.Add(time.Since(start).Nanoseconds())
+				s.simNanos.Add(d.Nanoseconds())
 				s.simAllocs.Add(int64(m1.Mallocs - m0.Mallocs))
-				s.observeLatency(time.Since(start))
+				// Clamp EWMA/estimator samples to the per-attempt timeout:
+				// an attempt that straggled past its timeout before
+				// succeeding can never have cost the server more slot-time
+				// than the timeout, so letting the raw duration through
+				// would inflate Retry-After (toward its 1m cap) and
+				// deadline estimates for everyone after it.
+				clamped := d
+				if s.cfg.JobTimeout > 0 && clamped > s.cfg.JobTimeout {
+					clamped = s.cfg.JobTimeout
+				}
+				s.observeLatency(clamped)
+				s.aimd.Observe(d)
+				if family != "" {
+					s.est.Observe(family, clamped)
+				}
 			}
 			s.brk.success(key)
+			if !deadlineAt.IsZero() && time.Now().After(deadlineAt) {
+				// Finished, but past the deadline: the client stopped
+				// caring, so this is overload debt, not goodput.
+				s.dlineLate.Add(1)
+				s.failed.Add(1)
+				return runner.Result{Key: key, Err: ErrDeadlineMiss}, attempts
+			}
+			s.budget.Earn()
 			s.completed.Add(1)
 			return res, attempts
+		}
+		if errors.Is(res.Err, context.DeadlineExceeded) {
+			// A timed-out attempt is the strongest slow-latency signal the
+			// AIMD can get; successful-only sampling would go blind right
+			// when the server tips over.
+			s.aimd.Observe(time.Since(start))
 		}
 		last = res
 		var ie *sm.InvariantError
@@ -490,6 +621,11 @@ func (s *Server) execute(ctx context.Context, job runner.Job, key string) (runne
 			s.brk.failure(key)
 		}
 		if !runner.IsTransient(res.Err) || attempts > s.cfg.MaxRetries {
+			s.failed.Add(1)
+			return res, attempts
+		}
+		if !s.budget.Spend() {
+			s.shedRetry.Add(1)
 			s.failed.Add(1)
 			return res, attempts
 		}
@@ -562,6 +698,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // statusOf maps a failed result to its HTTP status.
 func statusOf(err error) int {
 	switch {
+	case errors.Is(err, ErrDeadlineMiss):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable // drain or client gone
 	case errors.Is(err, context.DeadlineExceeded):
@@ -585,11 +723,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decoding job: " + err.Error()})
 		return
 	}
-	job, key, timeout, err := req.Build()
+	job, key, limits, err := req.Build()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	family := req.Family()
 	// fresh=1 is the audit seam: bypass the cache and journal (read AND
 	// write) and re-simulate from scratch, so a coordinator can obtain a
 	// result that shares no storage with the one it is auditing.
@@ -614,6 +753,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, wait, "circuit open for "+key+": repeated invariant violations")
 		return
 	}
+	// Deadline-aware admission: before taking a queue slot, price the
+	// job — current queue turns over in about queued*estimate/Workers,
+	// then the job itself runs for about one estimate. If that already
+	// overruns the client's deadline, admitting it only converts a cheap
+	// arrival-time 429 into an expensive post-simulation 504.
+	var deadlineAt time.Time
+	if limits.Deadline > 0 {
+		deadlineAt = time.Now().Add(limits.Deadline)
+		if est, ok := s.est.Estimate(family); ok {
+			wait := time.Duration(s.queued.Load() * est.Nanoseconds() / int64(s.cfg.Workers))
+			if wait+est > limits.Deadline {
+				s.shedDline.Add(1)
+				s.shed(w, s.retryAfterHint(), "deadline unmeetable at current load")
+				return
+			}
+		}
+	}
 	if !s.admit() {
 		s.shed(w, s.retryAfterHint(), "admission queue full")
 		return
@@ -621,12 +777,24 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	ctx := r.Context()
-	if timeout > 0 {
+	if limits.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, limits.Timeout)
 		defer cancel()
 	}
-	res, attempts := s.executeSlot(ctx, job, key)
+	if !deadlineAt.IsZero() {
+		// Running past the deadline is pure waste — cap the whole retry
+		// loop at it, so a deadline-missing attempt is cancelled instead
+		// of finishing a result nobody will accept.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadlineAt)
+		defer cancel()
+	}
+	res, attempts := s.executeSlot(ctx, job, key, family, deadlineAt)
+	if errors.Is(res.Err, ErrStale) {
+		s.shed(w, s.retryAfterHint(), "deadline overrun while queued")
+		return
+	}
 	full := r.URL.Query().Get("full") == "1"
 	resp := s.response(0, res, attempts, full)
 	if res.Err != nil {
@@ -661,6 +829,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]runner.Job, len(reqs))
 	keys := make([]string, len(reqs))
+	fams := make([]string, len(reqs))
 	for i := range reqs {
 		job, key, _, err := reqs[i].Build()
 		if err != nil {
@@ -668,7 +837,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				map[string]string{"error": fmt.Sprintf("job %d: %v", i, err)})
 			return
 		}
-		jobs[i], keys[i] = job, key
+		jobs[i], keys[i], fams[i] = job, key, reqs[i].Family()
 	}
 	if !s.admit() {
 		s.shed(w, s.retryAfterHint(), "admission queue full")
@@ -690,7 +859,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				out[i] = JobResponse{Key: keys[i], Index: i,
 					Error: fmt.Sprintf("circuit open: retry after %s", wait.Round(time.Second))}
 			} else {
-				res, attempts := s.executeSlot(ctx, jobs[i], keys[i])
+				res, attempts := s.executeSlot(ctx, jobs[i], keys[i], fams[i], time.Time{})
 				out[i] = s.response(i, res, attempts, full)
 			}
 			close(done[i])
@@ -734,7 +903,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.drainng.Load():
 		http.Error(w, "draining", http.StatusServiceUnavailable)
-	case s.queued.Load() >= int64(s.cfg.Workers+s.cfg.QueueDepth):
+	case s.queued.Load() >= int64(s.aimd.Limit()):
+		// The adaptive limit is the real admission gate, so readiness
+		// tracks it — a load balancer stops routing when the server has
+		// shrunk itself, not only when the hard ceiling is hit.
 		http.Error(w, "saturated", http.StatusServiceUnavailable)
 	default:
 		fmt.Fprintln(w, "ready")
@@ -776,11 +948,31 @@ type Stats struct {
 	Accepted    int64 `json:"accepted"`
 	ShedQueue   int64 `json:"shed_queue"`
 	ShedBreaker int64 `json:"shed_breaker"`
-	Retries     int64 `json:"retries"`
-	Completed   int64 `json:"completed"`
-	Failed      int64 `json:"failed"`
-	Queued      int64 `json:"queued"`
-	BreakerOpen int   `json:"breaker_open"`
+	// ShedDeadline counts jobs shed because their deadline was already
+	// unmeetable — at arrival (queue-wait + estimate > budget) or at
+	// dequeue (went stale while queued).
+	ShedDeadline int64 `json:"shed_deadline"`
+	// ShedRetryBudget counts retries denied by the exhausted budget (the
+	// job fails with its last error instead of amplifying load).
+	ShedRetryBudget int64 `json:"shed_retry_budget"`
+	// DeadlineLate counts simulations that finished past their deadline
+	// and were returned as 504 instead of success.
+	DeadlineLate int64 `json:"deadline_late,omitempty"`
+	Retries      int64 `json:"retries"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	Queued       int64 `json:"queued"`
+	// InflightLimit is the current adaptive admission limit (AIMD;
+	// equals Workers+QueueDepth when TargetLatency is unset).
+	InflightLimit int `json:"inflight_limit"`
+	// RetryBudgetTokens is the retry bucket's current balance.
+	RetryBudgetTokens float64 `json:"retry_budget_tokens"`
+	// QueueWaitP50/95/99Ms are percentiles of recent queue waits
+	// (admission to engine-slot acquisition) over a 1024-sample ring.
+	QueueWaitP50Ms float64 `json:"queue_wait_ms_p50"`
+	QueueWaitP95Ms float64 `json:"queue_wait_ms_p95"`
+	QueueWaitP99Ms float64 `json:"queue_wait_ms_p99"`
+	BreakerOpen    int     `json:"breaker_open"`
 	// Breakers is the per-fingerprint circuit state (every fingerprint
 	// with failure history): open/half-open/accumulating, violation
 	// count, and remaining cooldown — the per-job view fleet health is
@@ -830,17 +1022,26 @@ type Stats struct {
 // StatsSnapshot returns current counters (also served at /statz).
 func (s *Server) StatsSnapshot() Stats {
 	st := Stats{
-		Accepted:    s.accepted.Load(),
-		ShedQueue:   s.shedQueue.Load(),
-		ShedBreaker: s.shedBrk.Load(),
-		Retries:     s.retries.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		Queued:      s.queued.Load(),
-		BreakerOpen: s.brk.openCount(),
-		Breakers:    s.brk.snapshot(),
-		Draining:    s.drainng.Load(),
-		Worker:      s.cfg.Worker,
+		Accepted:        s.accepted.Load(),
+		ShedQueue:       s.shedQueue.Load(),
+		ShedBreaker:     s.shedBrk.Load(),
+		ShedDeadline:    s.shedDline.Load(),
+		ShedRetryBudget: s.shedRetry.Load(),
+		DeadlineLate:    s.dlineLate.Load(),
+		Retries:         s.retries.Load(),
+		Completed:       s.completed.Load(),
+		Failed:          s.failed.Load(),
+		Queued:          s.queued.Load(),
+		BreakerOpen:     s.brk.openCount(),
+		Breakers:        s.brk.snapshot(),
+		Draining:        s.drainng.Load(),
+		Worker:          s.cfg.Worker,
+
+		InflightLimit:     s.aimd.Limit(),
+		RetryBudgetTokens: s.budget.Tokens(),
+		QueueWaitP50Ms:    float64(s.waits.Percentile(0.50)) / 1e6,
+		QueueWaitP95Ms:    float64(s.waits.Percentile(0.95)) / 1e6,
+		QueueWaitP99Ms:    float64(s.waits.Percentile(0.99)) / 1e6,
 
 		EngineWorkers:    s.cfg.EngineWorkers,
 		LatencyEWMAMs:    float64(s.latEWMA.Load()) / 1e6,

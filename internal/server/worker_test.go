@@ -43,7 +43,7 @@ func TestRetryCancelRace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, attempts := srv.execute(ctx, job, key)
+		res, attempts := srv.execute(ctx, job, key, req.Family(), time.Time{})
 		if res.Err == nil {
 			t.Fatal("cancelled retry loop reported success")
 		}
