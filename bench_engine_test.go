@@ -10,8 +10,10 @@
 package gcke_test
 
 import (
+	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	gcke "repro"
 	"repro/internal/gpu"
@@ -85,18 +87,112 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 			o.Trace = trace.New(1 << 14)
 		})
 	})
-	// Intra-run parallelism (per-cycle SM tick fan-out). Speedup needs
-	// real cores: on a multi-core machine workers=gomaxprocs should beat
-	// serial on the multi-kernel mix; on one core it measures the
-	// fan-out overhead instead.
+	// Intra-run parallelism. Speedup needs real cores: on a multi-core
+	// machine the fan-out subtests should beat serial on the
+	// multi-kernel mix; on one core they measure the fan-out overhead
+	// instead (Workers=1, PartWorkers=1 resolve to the serial step).
+	// -serial pins both fan-outs to 1; -parallel fans out the SM phase
+	// only; -partparallel the memory partitions only; -pipelined both,
+	// which additionally overlaps the memory side of cycle N with the SM
+	// phase of cycle N+1.
 	b.Run("2kernelCKE-serial", func(b *testing.B) {
 		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
 			o.Workers = 1
+			o.PartWorkers = 1
 		})
 	})
 	b.Run("2kernelCKE-parallel", func(b *testing.B) {
 		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
 			o.Workers = runtime.GOMAXPROCS(0)
+			o.PartWorkers = 1
 		})
 	})
+	b.Run("2kernelCKE-partparallel", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
+			o.Workers = 1
+			o.PartWorkers = runtime.GOMAXPROCS(0)
+		})
+	})
+	b.Run("2kernelCKE-pipelined", func(b *testing.B) {
+		runEngineBench(b, []string{"bp", "sv"}, func(o *gpu.Options) {
+			o.Workers = runtime.GOMAXPROCS(0)
+			o.PartWorkers = runtime.GOMAXPROCS(0)
+		})
+	})
+}
+
+// engineRate runs the 2kernelCKE workload once with the given fan-outs
+// and returns cycles/sec and allocs/cycle.
+func engineRate(t *testing.T, workers, partWorkers int, cycles int64) (float64, float64) {
+	t.Helper()
+	cfg := gcke.ScaledConfig(4)
+	var descs []*kern.Desc
+	for _, n := range []string{"bp", "sv"} {
+		d, err := kern.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd := d
+		descs = append(descs, &dd)
+	}
+	per := make([]int, len(descs))
+	for i, d := range descs {
+		per[i] = d.MaxTBsPerSM(&cfg) / len(descs)
+		if per[i] < 1 {
+			per[i] = 1
+		}
+	}
+	opts := &gpu.Options{
+		Cycles:      cycles,
+		Quota:       gpu.UniformQuota(cfg.NumSMs, per),
+		Workers:     workers,
+		PartWorkers: partWorkers,
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	if _, err := gpu.Run(cfg, descs, opts); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(cycles) / elapsed.Seconds(),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(cycles)
+}
+
+// TestEngineBenchGate is the CI perf-regression gate (set BENCH_SMOKE=1
+// to run it): allocs/cycle on the 2kernelCKE mix must not regress past
+// the pooled-engine budget, and on a real multi-core host the pipelined
+// engine must beat serial. The speedup assertion is skipped when
+// GOMAXPROCS < 4 — with one core the fan-out cannot win, only cost.
+func TestEngineBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the engine perf gate")
+	}
+	const gateCycles = 40_000
+	const allocBudget = 0.30
+
+	_, allocs := engineRate(t, 2, 2, gateCycles)
+	t.Logf("workers=2 partWorkers=2: %.4f allocs/cycle (budget %.2f)", allocs, allocBudget)
+	if allocs > allocBudget {
+		t.Errorf("allocs/cycle = %.4f, budget %.2f: the engine regressed into per-cycle allocation",
+			allocs, allocBudget)
+	}
+
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Logf("GOMAXPROCS=%d: skipping the speedup assertion (needs >= 4 real cores)", p)
+		return
+	}
+	// Warm once to populate kernel/profile-independent process state,
+	// then compare medians-of-one: CI noise is absorbed by the generous
+	// 1.2x bar (the multi-core target in results/BENCH_engine.json is
+	// 1.5x).
+	serial, _ := engineRate(t, 1, 1, gateCycles)
+	piped, _ := engineRate(t, 0, 0, gateCycles)
+	t.Logf("serial %.0f cycles/sec, pipelined %.0f cycles/sec (%.2fx)", serial, piped, piped/serial)
+	if piped < 1.2*serial {
+		t.Errorf("pipelined engine %.0f cycles/sec vs serial %.0f: speedup %.2fx < 1.2x on %d cores",
+			piped, serial, piped/serial, runtime.GOMAXPROCS(0))
+	}
 }

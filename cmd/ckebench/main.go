@@ -70,6 +70,8 @@ func main() {
 	session.ProfileCycles = *profCycles
 	session.Check = *check
 	session.Workers = prof.Workers
+	session.PartWorkers = prof.PartWorkers
+	session.PhaseTime = prof.PhaseTrace
 	var jnl *journal.Journal
 	if *journalPath != "" {
 		var err error

@@ -54,6 +54,8 @@ func main() {
 	s := gcke.NewSession(cfg, *cycles)
 	s.Check = *check
 	s.Workers = prof.Workers
+	s.PartWorkers = prof.PartWorkers
+	s.PhaseTime = prof.PhaseTrace
 
 	names := gcke.BenchmarkNames()
 	if *benchList != "" {

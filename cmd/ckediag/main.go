@@ -43,6 +43,8 @@ func main() {
 	session.ProfileCycles = *profCycles
 	session.Check = rb.Check
 	session.Workers = prof.Workers
+	session.PartWorkers = prof.PartWorkers
+	session.PhaseTime = prof.PhaseTrace
 	session.ForkWarmup = rb.ForkWarmup
 
 	names := strings.Split(*pair, ",")

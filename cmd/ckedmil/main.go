@@ -49,7 +49,7 @@ func main() {
 	bufs := make([]bytes.Buffer, len(specs))
 	errs := make([]error, len(specs))
 	runner.Map(ctx, *parallel, len(specs), func(i int) {
-		errs[i] = trace(ctx, &bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles, rb.Check, prof.Workers)
+		errs[i] = trace(ctx, &bufs[i], strings.TrimSpace(specs[i]), *quota, *cycles, rb.Check, prof)
 	})
 	failed := 0
 	for i, spec := range specs {
@@ -77,7 +77,7 @@ func main() {
 
 // trace runs one workload with per-kernel DMILs and writes the
 // limit/inflight timeline plus the final result to w.
-func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles int64, check bool, workers int) error {
+func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles int64, check bool, prof *cli.Profiling) error {
 	cfg := config.Scaled(4)
 	var descs []*kern.Desc
 	for _, n := range strings.Split(pairSpec, ",") {
@@ -132,7 +132,9 @@ func trace(ctx context.Context, w io.Writer, pairSpec, quotaSpec string, cycles 
 		HookInterval: 1000,
 		Interrupt:    func() bool { return ctx.Err() != nil },
 		Check:        gpu.CheckConfig{Enabled: check},
-		Workers:      workers,
+		Workers:      prof.Workers,
+		PartWorkers:  prof.PartWorkers,
+		PhaseTime:    prof.PhaseTrace,
 	}
 	g, err := gpu.New(cfg, descs, opts)
 	if err != nil {

@@ -93,6 +93,8 @@ func main() {
 	session.ProfileCycles = *profCycles
 	session.Check = *check
 	session.Workers = prof.Workers
+	session.PartWorkers = prof.PartWorkers
+	session.PhaseTime = prof.PhaseTrace
 
 	var wl []gcke.Kernel
 	for _, n := range strings.Split(*kernels, ",") {

@@ -89,6 +89,8 @@ func main() {
 	s.ProfileCycles = 60_000
 	s.Check = rb.Check
 	s.Workers = prof.Workers
+	s.PartWorkers = prof.PartWorkers
+	s.PhaseTime = prof.PhaseTrace
 	s.ForkWarmup = rb.ForkWarmup
 
 	var ds []gcke.Kernel

@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 	"unsafe"
 
 	"repro/internal/mem"
@@ -58,7 +59,17 @@ func (c *Cache) Snapshot(cl *mem.Cloner) *Snapshot {
 		bypass:   append([]bool(nil), c.bypass...),
 		stats:    append([]KernelStats(nil), c.Stats...),
 	}
-	for _, e := range c.mshrMap {
+	// Iterate the MSHR map in sorted line order: map order is random
+	// per process, and two identical runs must produce byte-identical
+	// encoded snapshots (checkpoint digests are compared across worker
+	// configurations and across resumed runs).
+	addrs := make([]uint64, 0, len(c.mshrMap))
+	for a := range c.mshrMap {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
+		e := c.mshrMap[a]
 		ms := mshrSnapshot{lineAddr: e.lineAddr, set: e.set, way: e.way, isStore: e.isStore}
 		for _, t := range e.targets {
 			ms.targets = append(ms.targets, cl.Request(t))

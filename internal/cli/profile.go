@@ -6,25 +6,36 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"repro/internal/gpu"
 )
 
 // Profiling bundles the performance-diagnosis options shared by every
-// driver: the three pprof outputs and the cycle engine's intra-run
-// worker count.
+// driver: the pprof outputs, the cycle engine's intra-run worker counts
+// and the per-phase wall-clock trace.
 type Profiling struct {
-	// CPUProfile / MemProfile / BlockProfile are output paths for the
-	// corresponding pprof profiles (empty = disabled).
+	// CPUProfile / MemProfile / BlockProfile / MutexProfile are output
+	// paths for the corresponding pprof profiles (empty = disabled).
 	CPUProfile   string
 	MemProfile   string
 	BlockProfile string
+	MutexProfile string
 	// Workers is the per-run SM tick fan-out passed to the engine
 	// (gpu.Options.Workers): 0 = GOMAXPROCS, 1 = serial. Results are
 	// byte-identical for any value.
 	Workers int
+	// PartWorkers is the memory-side fan-out (gpu.Options.PartWorkers):
+	// L2+DRAM partitions ticked concurrently within each cycle. 0 =
+	// GOMAXPROCS capped at the partition count, 1 = serial. Results are
+	// byte-identical for any value.
+	PartWorkers int
+	// PhaseTrace enables the engine's per-phase wall-clock counters
+	// (gpu.Options.PhaseTime) and prints a phase breakdown at exit.
+	PhaseTrace bool
 }
 
-// AddProfileFlags registers -cpuprofile, -memprofile, -blockprofile and
-// -workers on fs.
+// AddProfileFlags registers -cpuprofile, -memprofile, -blockprofile,
+// -mutexprofile, -workers, -part-workers and -phasetrace on fs.
 func AddProfileFlags(fs *flag.FlagSet) *Profiling {
 	p := &Profiling{}
 	fs.StringVar(&p.CPUProfile, "cpuprofile", "",
@@ -33,8 +44,14 @@ func AddProfileFlags(fs *flag.FlagSet) *Profiling {
 		"write an allocation profile to this file at exit")
 	fs.StringVar(&p.BlockProfile, "blockprofile", "",
 		"write a goroutine blocking profile to this file at exit")
+	fs.StringVar(&p.MutexProfile, "mutexprofile", "",
+		"write a mutex contention profile to this file at exit")
 	fs.IntVar(&p.Workers, "workers", 0,
 		"SM-tick goroutines per simulation cycle (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	fs.IntVar(&p.PartWorkers, "part-workers", 0,
+		"memory-partition goroutines per simulation cycle (0 = GOMAXPROCS capped at partitions, 1 = serial; results are identical)")
+	fs.BoolVar(&p.PhaseTrace, "phasetrace", false,
+		"measure per-phase engine time and print a breakdown at exit")
 	return p
 }
 
@@ -56,6 +73,9 @@ func (p *Profiling) Start() (func(), error) {
 	}
 	if p.BlockProfile != "" {
 		runtime.SetBlockProfileRate(1)
+	}
+	if p.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	return func() {
 		if cpuFile != nil {
@@ -79,5 +99,39 @@ func (p *Profiling) Start() (func(), error) {
 				fmt.Fprintf(os.Stderr, "cli: -blockprofile: %v\n", err)
 			}
 		}
+		if p.MutexProfile != "" {
+			if f, err := os.Create(p.MutexProfile); err == nil {
+				pprof.Lookup("mutex").WriteTo(f, 0)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "cli: -mutexprofile: %v\n", err)
+			}
+		}
+		if p.PhaseTrace {
+			PrintPhaseTrace(os.Stderr)
+		}
 	}, nil
+}
+
+// PrintPhaseTrace writes the process-wide per-phase engine time
+// breakdown accumulated so far (all runs with PhaseTime enabled).
+func PrintPhaseTrace(w *os.File) {
+	t := gpu.PhaseTotals()
+	if t.Cycles == 0 {
+		fmt.Fprintln(w, "phasetrace: no phase-timed cycles recorded")
+		return
+	}
+	total := t.TotalNs()
+	pct := func(ns int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(total)
+	}
+	fmt.Fprintf(w, "phasetrace: %d cycles, %.1f ms engine time\n", t.Cycles, float64(total)/1e6)
+	fmt.Fprintf(w, "  sm        %8.1f ms (%5.1f%%)\n", float64(t.SMNs)/1e6, pct(t.SMNs))
+	fmt.Fprintf(w, "  drain     %8.1f ms (%5.1f%%)\n", float64(t.DrainNs)/1e6, pct(t.DrainNs))
+	fmt.Fprintf(w, "  reqnet    %8.1f ms (%5.1f%%)\n", float64(t.ReqNetNs)/1e6, pct(t.ReqNetNs))
+	fmt.Fprintf(w, "  partition %8.1f ms (%5.1f%%)\n", float64(t.PartNs)/1e6, pct(t.PartNs))
+	fmt.Fprintf(w, "  respnet   %8.1f ms (%5.1f%%)\n", float64(t.RespNetNs)/1e6, pct(t.RespNetNs))
 }

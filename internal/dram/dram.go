@@ -22,6 +22,12 @@ type bank struct {
 type pending struct {
 	req     *mem.Request
 	arrival int64
+	// bank and row are derived from req.LineAddr at Push time. The
+	// FR-FCFS scan walks the whole queue every cycle; precomputing here
+	// turns the per-entry hash/division into two integer loads from the
+	// same cache line the scan is already touching.
+	bank int32
+	row  uint64
 }
 
 type response struct {
@@ -69,7 +75,12 @@ func (c *Channel) Push(r *mem.Request, cycle int64) bool {
 	if !c.CanPush() {
 		return false
 	}
-	c.queue = append(c.queue, pending{req: r, arrival: cycle})
+	c.queue = append(c.queue, pending{
+		req:     r,
+		arrival: cycle,
+		bank:    int32(c.bankOf(r.LineAddr)),
+		row:     c.rowOf(r.LineAddr),
+	})
 	return true
 }
 
@@ -99,9 +110,8 @@ func (c *Channel) Tick(cycle int64) {
 	pick := -1
 	// First ready: oldest row-buffer hit whose bank is free.
 	for i := range c.queue {
-		b := c.bankOf(c.queue[i].req.LineAddr)
-		bk := &c.banks[b]
-		if bk.busyUntil <= cycle && bk.rowValid && bk.openRow == c.rowOf(c.queue[i].req.LineAddr) {
+		bk := &c.banks[c.queue[i].bank]
+		if bk.busyUntil <= cycle && bk.rowValid && bk.openRow == c.queue[i].row {
 			pick = i
 			break
 		}
@@ -109,8 +119,7 @@ func (c *Channel) Tick(cycle int64) {
 	if pick < 0 {
 		// Then FCFS: oldest request whose bank is free.
 		for i := range c.queue {
-			b := c.bankOf(c.queue[i].req.LineAddr)
-			if c.banks[b].busyUntil <= cycle {
+			if c.banks[c.queue[i].bank].busyUntil <= cycle {
 				pick = i
 				break
 			}
@@ -123,9 +132,8 @@ func (c *Channel) Tick(cycle int64) {
 	copy(c.queue[pick:], c.queue[pick+1:])
 	c.queue = c.queue[:len(c.queue)-1]
 
-	b := c.bankOf(p.req.LineAddr)
-	row := c.rowOf(p.req.LineAddr)
-	bk := &c.banks[b]
+	row := p.row
+	bk := &c.banks[p.bank]
 	var access int64
 	if bk.rowValid && bk.openRow == row {
 		access = int64(c.cfg.RowHitLat)

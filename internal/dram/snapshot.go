@@ -33,6 +33,9 @@ func (c *Channel) Snapshot(cl *mem.Cloner) *Snapshot {
 		rowHits:      c.RowHits,
 		rowMiss:      c.RowMiss,
 	}
+	// bank/row are derived from the line address; the snapshot stores only
+	// req+arrival and Restore recomputes them, so the encoded format is
+	// independent of the bank-swizzle function.
 	for _, p := range c.queue {
 		sn.queue = append(sn.queue, pending{req: cl.Request(p.req), arrival: p.arrival})
 	}
@@ -52,7 +55,13 @@ func (c *Channel) Restore(sn *Snapshot, cl *mem.Cloner) error {
 	copy(c.banks, sn.banks)
 	c.queue = c.queue[:0]
 	for _, p := range sn.queue {
-		c.queue = append(c.queue, pending{req: cl.Request(p.req), arrival: p.arrival})
+		r := cl.Request(p.req)
+		c.queue = append(c.queue, pending{
+			req:     r,
+			arrival: p.arrival,
+			bank:    int32(c.bankOf(r.LineAddr)),
+			row:     c.rowOf(r.LineAddr),
+		})
 	}
 	c.busBusyUntil = sn.busBusyUntil
 	c.resp.Restore(sn.resp, func(r response) response {

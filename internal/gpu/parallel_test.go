@@ -1,7 +1,10 @@
 package gpu_test
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -18,12 +21,14 @@ type parallelWorkload struct {
 	kernels []string
 	cycles  int64
 	full    bool // Trace + Series + Check on
+	ckpt    bool // Trace + periodic encoded checkpoints, digest-compared
 }
 
-// runWorkload executes the workload with the given worker count and
-// returns the marshalled RunResult plus the rendered trace (empty when
-// tracing is off).
-func runWorkload(t *testing.T, w parallelWorkload, workers int) (string, string) {
+// runWorkload executes the workload with the given SM and partition
+// worker counts and returns the marshalled RunResult, the rendered
+// trace (empty when tracing is off), and a digest over every encoded
+// mid-run checkpoint (empty when checkpointing is off).
+func runWorkload(t *testing.T, w parallelWorkload, workers, partWorkers int) (string, string, string) {
 	t.Helper()
 	cfg := tinyCfg()
 	descs := make([]*kern.Desc, 0, len(w.kernels))
@@ -39,18 +44,36 @@ func runWorkload(t *testing.T, w parallelWorkload, workers int) (string, string)
 		quota[i] = q
 	}
 	o := &gpu.Options{
-		Cycles:  w.cycles,
-		Quota:   gpu.UniformQuota(cfg.NumSMs, quota),
-		Workers: workers,
+		Cycles:      w.cycles,
+		Quota:       gpu.UniformQuota(cfg.NumSMs, quota),
+		Workers:     workers,
+		PartWorkers: partWorkers,
 	}
 	if w.full {
 		o.Trace = trace.New(1 << 12)
 		o.Series = true
 		o.Check = gpu.CheckConfig{Enabled: true}
 	}
+	ckptHash := sha256.New()
+	if w.ckpt {
+		o.Trace = trace.New(1 << 12)
+		o.CheckpointEvery = w.cycles / 3
+		o.Checkpoint = func(g *gpu.GPU, cycle int64) error {
+			sn, err := g.SnapshotCheckpoint()
+			if err != nil {
+				return err
+			}
+			data, err := gpu.EncodeSnapshot(sn)
+			if err != nil {
+				return err
+			}
+			ckptHash.Write(data)
+			return nil
+		}
+	}
 	res, err := gpu.Run(cfg, descs, o)
 	if err != nil {
-		t.Fatalf("%s workers=%d: %v", w.name, workers, err)
+		t.Fatalf("%s workers=%d partWorkers=%d: %v", w.name, workers, partWorkers, err)
 	}
 	js, err := json.Marshal(res)
 	if err != nil {
@@ -60,42 +83,134 @@ func runWorkload(t *testing.T, w parallelWorkload, workers int) (string, string)
 	if o.Trace != nil {
 		tr = trace.Render(o.Trace.Snapshot())
 	}
-	return string(js), tr
+	var ck string
+	if w.ckpt {
+		ck = hex.EncodeToString(ckptHash.Sum(nil))
+	}
+	return string(js), tr, ck
 }
 
 // TestParallelStepMatchesSerial is the engine's core determinism
-// contract: for any worker count a run produces byte-identical results
-// — the same stats.RunResult JSON and the same rendered trace — as the
-// serial (Workers=1) run. Three workloads cover single-kernel,
-// concurrent kernel execution, and the fully instrumented path
-// (tracing, time series, invariant watchdog). Run under -race this also
-// proves the SM phase shares no mutable state across workers.
+// contract: for every (SM workers, partition workers) combination a run
+// produces byte-identical results — the same stats.RunResult JSON, the
+// same rendered trace, the same encoded checkpoint bytes — as the fully
+// serial (1,1) run. Any combination beyond (1,1) also enables the
+// pipelined step, which overlaps the memory side of cycle N with the SM
+// phase of cycle N+1, so the matrix exercises staging, commits, and the
+// flush discipline at checkpoints. Run under -race this also proves the
+// phases share no mutable state across workers.
 func TestParallelStepMatchesSerial(t *testing.T) {
 	workloads := []parallelWorkload{
 		{name: "1kernel", kernels: []string{"bp"}, cycles: 6000},
 		{name: "2kernelCKE", kernels: []string{"bp", "sv"}, cycles: 6000},
 		{name: "2kernelCKE-full", kernels: []string{"sv", "cd"}, cycles: 6000, full: true},
+		{name: "2kernelCKE-trace-ckpt", kernels: []string{"bp", "cd"}, cycles: 6000, ckpt: true},
 	}
+	counts := []int{1, 2, 8}
 	for _, w := range workloads {
 		t.Run(w.name, func(t *testing.T) {
-			baseJS, baseTr := runWorkload(t, w, 1)
-			for _, workers := range []int{2, 8} {
-				js, tr := runWorkload(t, w, workers)
-				if js != baseJS {
-					t.Errorf("workers=%d: RunResult diverged from serial\nserial:   %s\nparallel: %s", workers, baseJS, js)
-				}
-				if tr != baseTr {
-					t.Errorf("workers=%d: trace diverged from serial", workers)
+			baseJS, baseTr, baseCk := runWorkload(t, w, 1, 1)
+			for _, workers := range counts {
+				for _, partWorkers := range counts {
+					if workers == 1 && partWorkers == 1 {
+						continue
+					}
+					js, tr, ck := runWorkload(t, w, workers, partWorkers)
+					label := fmt.Sprintf("workers=%d partWorkers=%d", workers, partWorkers)
+					if js != baseJS {
+						t.Errorf("%s: RunResult diverged from serial\nserial:   %s\nparallel: %s", label, baseJS, js)
+					}
+					if tr != baseTr {
+						t.Errorf("%s: trace diverged from serial", label)
+					}
+					if ck != baseCk {
+						t.Errorf("%s: encoded checkpoints diverged from serial", label)
+					}
 				}
 			}
 		})
 	}
 }
 
+// TestSnapshotMidPipelineRestoreContinue: snapshot a machine mid-run
+// while the pipelined engine is active, restore it into a fresh machine
+// with different worker counts, continue both to the same horizon, and
+// require byte-identical results — also against an uninterrupted serial
+// run. This pins the flush discipline: a snapshot taken between
+// pipelined steps must capture exactly the serial machine state.
+func TestSnapshotMidPipelineRestoreContinue(t *testing.T) {
+	cfg := tinyCfg()
+	descs := []*kern.Desc{getKernel(t, "bp"), getKernel(t, "sv")}
+	quota := gpu.UniformQuota(cfg.NumSMs, []int{2, 2})
+	const split, total = 2500, 6000
+
+	run := func(workers, partWorkers int, cycles int64, from *gpu.Snapshot) (*gpu.GPU, string) {
+		t.Helper()
+		o := &gpu.Options{Quota: quota, Workers: workers, PartWorkers: partWorkers}
+		g, err := gpu.New(cfg, descs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if from != nil {
+			if err := g.Restore(from); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o.Cycles = cycles
+		if err := g.RunCycles(o); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(g.Result())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, string(js)
+	}
+
+	// Uninterrupted serial reference.
+	gRef, want := run(1, 1, total, nil)
+	gRef.Close()
+
+	// Pipelined run to the split point, snapshot, continue.
+	oA := &gpu.Options{Cycles: split, Quota: quota, Workers: 2, PartWorkers: 2}
+	gA, err := gpu.New(cfg, descs, oA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gA.Close()
+	if err := gA.RunCycles(oA); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := gA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oA.Cycles = total - split
+	if err := gA.RunCycles(oA); err != nil {
+		t.Fatal(err)
+	}
+	jsA, err := json.Marshal(gA.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(jsA) != want {
+		t.Errorf("pipelined snapshot+continue diverged from serial\nserial:  %s\nresumed: %s", want, jsA)
+	}
+
+	// Restore the mid-pipeline snapshot into a machine with different
+	// worker counts and continue to the same horizon.
+	gB, got := run(8, 1, total-split, sn)
+	defer gB.Close()
+	if got != want {
+		t.Errorf("restored continuation diverged from serial\nserial:   %s\nrestored: %s", want, got)
+	}
+}
+
 // TestSharedPolicyClampsWorkers: a limiter instance shared across SMs
 // (the paper's global DMIL variant) would race if SMs ticked
 // concurrently, so the engine must detect instance sharing and fall
-// back to serial ticking.
+// back to serial ticking. Partition workers are unaffected: policies
+// live on the SM side only.
 func TestSharedPolicyClampsWorkers(t *testing.T) {
 	cfg := tinyCfg()
 	d := getKernel(t, "sv")
@@ -106,7 +221,8 @@ func TestSharedPolicyClampsWorkers(t *testing.T) {
 		Policies: gpu.PolicyFactory{
 			Limiter: func(smID, n int) sm.Limiter { return shared },
 		},
-		Workers: 8,
+		Workers:     8,
+		PartWorkers: 8,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +230,9 @@ func TestSharedPolicyClampsWorkers(t *testing.T) {
 	defer g.Close()
 	if g.Workers() != 1 {
 		t.Fatalf("Workers() = %d with a shared limiter, want 1", g.Workers())
+	}
+	if g.PartWorkers() < 1 {
+		t.Fatalf("PartWorkers() = %d, want >= 1", g.PartWorkers())
 	}
 
 	// Per-SM instances must keep the requested parallelism.

@@ -1,0 +1,78 @@
+// Per-phase wall-time accounting for the cycle engine. With
+// Options.PhaseTime enabled, the engine records how long each phase of
+// the cycle — SM tick, outbound drain, request-network tick, partition
+// tick, response-network tick — spends executing, so Amdahl breakdowns
+// ("where would another worker help?") are measured instead of guessed.
+//
+// In pipelined mode the memory-side phases run on the mem goroutine
+// concurrently with the SM phase of the next cycle, so the per-phase
+// sums may legitimately exceed wall-clock time; the gap between the two
+// is the overlap the pipeline bought. Counter reads synchronize through
+// the pipeline flush barrier, never concurrently with a running cycle.
+package gpu
+
+import "sync/atomic"
+
+// PhaseStats is cumulative per-phase execution time in nanoseconds,
+// plus the number of cycles measured. Sums exceed wall-clock when
+// phases overlap across cycles.
+type PhaseStats struct {
+	Cycles    int64 `json:"cycles"`
+	SMNs      int64 `json:"sm_ns"`
+	DrainNs   int64 `json:"drain_ns"`
+	ReqNetNs  int64 `json:"reqnet_ns"`
+	PartNs    int64 `json:"partition_ns"`
+	RespNetNs int64 `json:"respnet_ns"`
+}
+
+// sub returns the component-wise difference s - o.
+func (s PhaseStats) sub(o PhaseStats) PhaseStats {
+	return PhaseStats{
+		Cycles:    s.Cycles - o.Cycles,
+		SMNs:      s.SMNs - o.SMNs,
+		DrainNs:   s.DrainNs - o.DrainNs,
+		ReqNetNs:  s.ReqNetNs - o.ReqNetNs,
+		PartNs:    s.PartNs - o.PartNs,
+		RespNetNs: s.RespNetNs - o.RespNetNs,
+	}
+}
+
+// TotalNs returns the summed execution time across phases.
+func (s PhaseStats) TotalNs() int64 {
+	return s.SMNs + s.DrainNs + s.ReqNetNs + s.PartNs + s.RespNetNs
+}
+
+// PhaseStats returns this machine's cumulative phase times. All zeros
+// unless Options.PhaseTime was set.
+func (g *GPU) PhaseStats() PhaseStats {
+	g.flushPipeline()
+	return g.phase
+}
+
+// phaseTotals accumulates phase time across every run in the process
+// (ckeserve exports it via /statz; driver -phasetrace summaries read it
+// at exit). Atomic because runs execute concurrently on the runner
+// pool.
+var phaseTotals [6]atomic.Int64
+
+func addPhaseTotals(d PhaseStats) {
+	phaseTotals[0].Add(d.Cycles)
+	phaseTotals[1].Add(d.SMNs)
+	phaseTotals[2].Add(d.DrainNs)
+	phaseTotals[3].Add(d.ReqNetNs)
+	phaseTotals[4].Add(d.PartNs)
+	phaseTotals[5].Add(d.RespNetNs)
+}
+
+// PhaseTotals returns the process-wide cumulative phase times across
+// all runs that had Options.PhaseTime enabled.
+func PhaseTotals() PhaseStats {
+	return PhaseStats{
+		Cycles:    phaseTotals[0].Load(),
+		SMNs:      phaseTotals[1].Load(),
+		DrainNs:   phaseTotals[2].Load(),
+		ReqNetNs:  phaseTotals[3].Load(),
+		PartNs:    phaseTotals[4].Load(),
+		RespNetNs: phaseTotals[5].Load(),
+	}
+}

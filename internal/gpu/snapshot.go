@@ -89,6 +89,7 @@ func (g *GPU) Snapshot() (*Snapshot, error) {
 // which refuses stateful policies) and SnapshotCheckpoint (which
 // serializes them alongside).
 func (g *GPU) capture() *Snapshot {
+	g.flushPipeline()
 	cl := mem.NewCloner()
 	sn := &Snapshot{cycle: g.cycle}
 	for _, s := range g.SMs {
@@ -269,6 +270,8 @@ func (g *GPU) InstallPolicies(opts *Options) {
 	}
 	g.policies = policies
 	g.workers = effectiveWorkers(opts.Workers, g.cfg.NumSMs, policies)
+	g.partWorkers = effectivePartWorkers(opts.PartWorkers, g.cfg.NumMemParts)
+	g.resolveOverlap()
 }
 
 // SetQuota installs a new per-SM TB quota matrix (resident TBs drain

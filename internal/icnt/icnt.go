@@ -31,6 +31,17 @@ type delivered struct {
 }
 
 // Network is one direction of the crossbar.
+//
+// The ejection port is double-buffered so the consumer side (Pop) and
+// the producer side (Tick) may run on different goroutines within one
+// engine cycle: Tick stages deliveries into inStage and Pop records
+// drained packets in popped without touching inCount. CommitPops and
+// CommitDeliveries apply the staged effects; the engine calls them at
+// its determinism barrier, in the exact positions that reproduce the
+// serial tick order (Tick at cycle c observes pops through cycle c;
+// Pop at cycle c observes deliveries staged through cycle c-1, which
+// is all it could consume anyway because readyAt >= c+1 for anything
+// Tick(c) stages).
 type Network struct {
 	cfg      config.Icnt
 	nSrc     int
@@ -43,6 +54,13 @@ type Network struct {
 	inQ     []ring.Ring[delivered]
 	inCount []int // packets in flight + queued per destination
 	inCap   int
+	// inStage holds packets granted by Tick but not yet visible to Pop;
+	// popped counts packets drained by Pop but not yet applied to
+	// inCount. Only Tick touches inStage/inCount; only Pop touches
+	// inQ/popped (per destination); the commit methods touch both and
+	// run single-threaded at the engine's barrier.
+	inStage []ring.Ring[delivered]
+	popped  []int
 
 	// TransferredFlits counts total flits moved (utilization statistic).
 	TransferredFlits uint64
@@ -63,6 +81,8 @@ func New(cfg config.Icnt, nSrc, nDst int) *Network {
 		portFree: make([]int64, nDst),
 		inQ:      make([]ring.Ring[delivered], nDst),
 		inCount:  make([]int, nDst),
+		inStage:  make([]ring.Ring[delivered], nDst),
+		popped:   make([]int, nDst),
 		// Packets in flight on the wire count toward the destination,
 		// so the cap must cover the bandwidth-delay product plus the
 		// ejection buffer proper.
@@ -128,7 +148,11 @@ func (n *Network) Tick(cycle int64) {
 					readyAt = cycle + xfer + int64(n.cfg.Latency)
 					budget = 0
 				}
-				n.inQ[dst].Push(delivered{req: p.Req, readyAt: readyAt})
+				// Staged: invisible to Pop until CommitDeliveries. The
+				// count is the producer side's own backpressure signal
+				// and is maintained immediately (the grant loop above
+				// re-reads it within this very cycle).
+				n.inStage[dst].Push(delivered{req: p.Req, readyAt: readyAt})
 				n.inCount[dst]++
 				n.TransferredFlits += uint64(p.Flits)
 				n.rr[dst] = (src + 1) % n.nSrc
@@ -143,15 +167,42 @@ func (n *Network) Tick(cycle int64) {
 }
 
 // Pop returns the next delivered request at destination dst, or nil if
-// none has arrived by cycle.
+// none has arrived by cycle. Distinct destinations may be popped from
+// distinct goroutines concurrently with Tick; the drain is applied to
+// the shared occupancy count only at CommitPops.
 func (n *Network) Pop(dst int, cycle int64) *mem.Request {
 	q := &n.inQ[dst]
 	if q.Empty() || q.Peek().readyAt > cycle {
 		return nil
 	}
 	r := q.Pop().req
-	n.inCount[dst]--
+	n.popped[dst]++
 	return r
+}
+
+// CommitPops applies the pops staged since the last commit to the
+// per-destination occupancy counts. Single-threaded; the engine calls
+// it at its barrier, before the Tick that must observe those pops.
+func (n *Network) CommitPops() {
+	for dst, p := range n.popped {
+		if p != 0 {
+			n.inCount[dst] -= p
+			n.popped[dst] = 0
+		}
+	}
+}
+
+// CommitDeliveries publishes packets staged by Tick since the last
+// commit to the ejection queues Pop reads. Single-threaded; the engine
+// calls it at its barrier, after the consumers that must not yet see
+// them have run.
+func (n *Network) CommitDeliveries() {
+	for dst := range n.inStage {
+		st := &n.inStage[dst]
+		for !st.Empty() {
+			n.inQ[dst].Push(st.Pop())
+		}
+	}
 }
 
 // Pending reports the number of packets queued or in flight toward dst.

@@ -12,19 +12,57 @@ func testCfg() config.Icnt {
 	return config.Icnt{FlitBytes: 32, FlitsPerCycle: 1, Latency: 4, QueueDepth: 4, HeaderFlits: 1}
 }
 
+// tick runs one serial-engine network cycle: commit consumer pops,
+// arbitrate, publish deliveries — the order gpu.Step uses.
+func tick(n *Network, c int64) {
+	n.CommitPops()
+	n.Tick(c)
+	n.CommitDeliveries()
+}
+
+// TestStagedEjectionDoubleBuffer pins the commit discipline the
+// pipelined engine relies on: deliveries granted by Tick are invisible
+// to Pop until CommitDeliveries, and pops do not reach the occupancy
+// count until CommitPops.
+func TestStagedEjectionDoubleBuffer(t *testing.T) {
+	cfg := testCfg()
+	cfg.Latency = 0 // make the packet poppable the cycle after transfer
+	n := New(cfg, 1, 1)
+	r := &mem.Request{LineAddr: 7}
+	n.Push(0, Packet{Req: r, Dst: 0, Flits: 1})
+	n.Tick(0)
+	if got := n.Pending(0); got != 1 {
+		t.Fatalf("Pending after Tick = %d, want 1 (producer-side count is immediate)", got)
+	}
+	if got := n.Pop(0, 10); got != nil {
+		t.Fatal("staged delivery visible to Pop before CommitDeliveries")
+	}
+	n.CommitDeliveries()
+	if got := n.Pop(0, 1); got != r {
+		t.Fatal("committed delivery not poppable")
+	}
+	if got := n.Pending(0); got != 1 {
+		t.Fatalf("Pending after Pop = %d, want 1 (pop staged until CommitPops)", got)
+	}
+	n.CommitPops()
+	if got := n.Pending(0); got != 0 {
+		t.Fatalf("Pending after CommitPops = %d, want 0", got)
+	}
+}
+
 func TestDeliveryLatency(t *testing.T) {
 	n := New(testCfg(), 2, 2)
 	r := &mem.Request{LineAddr: 42}
 	if !n.Push(0, Packet{Req: r, Dst: 1, Flits: 1}) {
 		t.Fatal("push failed")
 	}
-	n.Tick(0)
+	tick(n, 0)
 	// 1 flit transfer + 4 latency: ready at cycle 5.
 	for c := int64(1); c < 5; c++ {
 		if got := n.Pop(1, c); got != nil {
 			t.Fatalf("delivered too early at cycle %d", c)
 		}
-		n.Tick(c)
+		tick(n, c)
 	}
 	if got := n.Pop(1, 5); got != r {
 		t.Fatal("packet not delivered at expected cycle")
@@ -37,11 +75,11 @@ func TestPortSerializesMultiFlitPackets(t *testing.T) {
 	r2 := &mem.Request{LineAddr: 2}
 	n.Push(0, Packet{Req: r1, Dst: 0, Flits: 5})
 	n.Push(1, Packet{Req: r2, Dst: 0, Flits: 5})
-	n.Tick(0) // r1 wins the port; busy 5 cycles
-	n.Tick(1) // port busy: r2 waits
+	tick(n, 0) // r1 wins the port; busy 5 cycles
+	tick(n, 1) // port busy: r2 waits
 	var got []*mem.Request
 	for c := int64(0); c < 40; c++ {
-		n.Tick(c)
+		tick(n, c)
 		if r := n.Pop(0, c); r != nil {
 			got = append(got, r)
 		}
@@ -56,7 +94,7 @@ func TestFlitsPerCycleSpeedsTransfer(t *testing.T) {
 	fast := New(config.Icnt{FlitBytes: 32, FlitsPerCycle: 4, Latency: 0, QueueDepth: 4, HeaderFlits: 1}, 1, 1)
 	for _, n := range []*Network{slow, fast} {
 		n.Push(0, Packet{Req: &mem.Request{}, Dst: 0, Flits: 4})
-		n.Tick(0)
+		tick(n, 0)
 	}
 	if slow.Pop(0, 3) != nil {
 		t.Fatal("slow link delivered 4 flits in under 4 cycles")
@@ -90,7 +128,7 @@ func TestRoundRobinFairness(t *testing.T) {
 		for src := 0; src < 4; src++ {
 			n.Push(src, Packet{Req: &mem.Request{LineAddr: uint64(src)}, Dst: 0, Flits: 1})
 		}
-		n.Tick(c)
+		tick(n, c)
 		for {
 			r := n.Pop(0, c)
 			if r == nil {
@@ -117,7 +155,7 @@ func TestFIFOPerSourceDestination(t *testing.T) {
 			sent = append(sent, next)
 			next++
 		}
-		n.Tick(c)
+		tick(n, c)
 		if r := n.Pop(0, c); r != nil {
 			got = append(got, r.LineAddr)
 		}
@@ -153,12 +191,12 @@ func TestPropertyConservation(t *testing.T) {
 			if n.Push(src, Packet{Req: &mem.Request{}, Dst: dst, Flits: int(p%4) + 1}) {
 				pushed++
 			}
-			n.Tick(cycle)
+			tick(n, cycle)
 			drain()
 			cycle++
 		}
 		for i := 0; i < 200; i++ {
-			n.Tick(cycle)
+			tick(n, cycle)
 			drain()
 			cycle++
 		}

@@ -22,8 +22,16 @@ type Snapshot struct {
 	transferredFlits uint64
 }
 
-// Snapshot captures the network's full state through cl.
+// Snapshot captures the network's full state through cl. The engine
+// only snapshots at a determinism barrier, where every staged delivery
+// and pop has been committed; a non-empty stage here is an engine bug,
+// not a recoverable condition.
 func (n *Network) Snapshot(cl *mem.Cloner) *Snapshot {
+	for i := range n.inStage {
+		if !n.inStage[i].Empty() || n.popped[i] != 0 {
+			panic("icnt: snapshot taken with uncommitted staged deliveries/pops")
+		}
+	}
 	sn := &Snapshot{
 		rr:               append([]int(nil), n.rr...),
 		portFree:         append([]int64(nil), n.portFree...),
@@ -65,6 +73,10 @@ func (n *Network) Restore(sn *Snapshot, cl *mem.Cloner) error {
 		})
 	}
 	copy(n.inCount, sn.inCount)
+	for i := range n.inStage {
+		n.inStage[i].Reset()
+		n.popped[i] = 0
+	}
 	n.TransferredFlits = sn.transferredFlits
 	return nil
 }

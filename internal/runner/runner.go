@@ -166,6 +166,15 @@ type Runner struct {
 	// job-level pool already saturates the machine, so jobs do not
 	// oversubscribe cores. Set it before the first Run.
 	EngineWorkers int
+	// EnginePartWorkers is the engine's memory-side fan-out for derived
+	// sessions (gcke.Session.PartWorkers): L2+DRAM partitions ticked
+	// concurrently within each cycle. Same budget considerations as
+	// EngineWorkers. Set it before the first Run.
+	EnginePartWorkers int
+	// PhaseTime enables per-phase engine wall-clock counters on derived
+	// sessions (gcke.Session.PhaseTime); totals are process-wide via
+	// gpu.PhaseTotals. Set it before the first Run.
+	PhaseTime bool
 	// Checkpoints, when non-nil (and CheckpointEvery > 0), persists
 	// mid-job engine checkpoints keyed by job fingerprint: an eligible
 	// job resumes from its latest valid checkpoint instead of cycle 0,
@@ -214,6 +223,8 @@ func (r *Runner) Session(cfg gcke.Config, cycles, profileCycles int64) (*gcke.Se
 		s.ProfileCycles = profileCycles
 		s.Check = r.Check
 		s.Workers = r.EngineWorkers
+		s.PartWorkers = r.EnginePartWorkers
+		s.PhaseTime = r.PhaseTime
 		s.ForkWarmup = r.ForkWarmup
 		r.sessions[key] = s
 	}

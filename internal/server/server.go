@@ -43,6 +43,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/chaos"
 	"repro/internal/ckpt"
+	"repro/internal/gpu"
 	"repro/internal/journal"
 	"repro/internal/overload"
 	"repro/internal/resultcache"
@@ -116,6 +117,16 @@ type Config struct {
 	// Workers slots x EngineWorkers goroutines never oversubscribe the
 	// machine. Results are byte-identical for any value.
 	EngineWorkers int
+	// EnginePartWorkers is the engine's memory-side fan-out per job
+	// (L2+DRAM partitions ticked concurrently within a cycle). When 0
+	// it follows the resolved EngineWorkers, keeping the per-job
+	// goroutine budget the one EngineWorkers was sized for. Results are
+	// byte-identical for any value.
+	EnginePartWorkers int
+	// PhaseTrace enables the engine's per-phase wall-clock counters on
+	// every derived session; /statz then reports the process-wide
+	// per-phase breakdown under "phase_ns".
+	PhaseTrace bool
 	// Worker enables fleet-worker mode: the server additionally exposes
 	// /journalz, an NDJSON dump of its checkpoint journal, so a fleet
 	// coordinator can resume a sweep from the union of worker journals
@@ -171,6 +182,9 @@ func (c Config) withDefaults() Config {
 		if c.EngineWorkers < 1 {
 			c.EngineWorkers = 1
 		}
+	}
+	if c.EnginePartWorkers <= 0 {
+		c.EnginePartWorkers = c.EngineWorkers
 	}
 	if c.RetryBudgetRatio == 0 {
 		c.RetryBudgetRatio = 0.1
@@ -241,6 +255,8 @@ func New(cfg Config) *Server {
 	r.Cache = cfg.Cache
 	r.Check = cfg.Check
 	r.EngineWorkers = cfg.EngineWorkers
+	r.EnginePartWorkers = cfg.EnginePartWorkers
+	r.PhaseTime = cfg.PhaseTrace
 	r.ForkWarmup = cfg.ForkWarmup
 	r.Checkpoints = cfg.Checkpoints
 	r.CheckpointEvery = cfg.CheckpointEvery
@@ -987,8 +1003,13 @@ type Stats struct {
 	// Retry-After hint (RetryAfterHintMs) queue sheds report.
 	LatencyEWMAMs    float64 `json:"latency_ewma_ms,omitempty"`
 	RetryAfterHintMs int64   `json:"retry_after_hint_ms"`
-	// EngineWorkers is the resolved per-job SM-tick fan-out.
-	EngineWorkers int `json:"engine_workers"`
+	// EngineWorkers is the resolved per-job SM-tick fan-out;
+	// EnginePartWorkers the resolved memory-partition fan-out.
+	EngineWorkers     int `json:"engine_workers"`
+	EnginePartWorkers int `json:"engine_part_workers"`
+	// Phase is the process-wide per-phase engine time breakdown,
+	// present only when Config.PhaseTrace is on.
+	Phase *gpu.PhaseStats `json:"phase_ns,omitempty"`
 	// CyclesPerSec and AllocsPerCycle aggregate over executed
 	// (non-replayed) successful jobs since the server started.
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
@@ -1043,9 +1064,14 @@ func (s *Server) StatsSnapshot() Stats {
 		QueueWaitP95Ms:    float64(s.waits.Percentile(0.95)) / 1e6,
 		QueueWaitP99Ms:    float64(s.waits.Percentile(0.99)) / 1e6,
 
-		EngineWorkers:    s.cfg.EngineWorkers,
-		LatencyEWMAMs:    float64(s.latEWMA.Load()) / 1e6,
-		RetryAfterHintMs: s.retryAfterHint().Milliseconds(),
+		EngineWorkers:     s.cfg.EngineWorkers,
+		EnginePartWorkers: s.cfg.EnginePartWorkers,
+		LatencyEWMAMs:     float64(s.latEWMA.Load()) / 1e6,
+		RetryAfterHintMs:  s.retryAfterHint().Milliseconds(),
+	}
+	if s.cfg.PhaseTrace {
+		t := gpu.PhaseTotals()
+		st.Phase = &t
 	}
 	if ns := s.simNanos.Load(); ns > 0 {
 		st.CyclesPerSec = float64(s.simCycles.Load()) / (float64(ns) / 1e9)

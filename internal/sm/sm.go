@@ -48,9 +48,6 @@ type Warp struct {
 
 	outBarriers [8]uint64 // barrier indices of outstanding loads
 	outN        int
-
-	Addr kern.AddrState
-	rng  xrand.Source
 }
 
 // minBarrier returns the smallest outstanding-load barrier, or noBarrier.
@@ -104,7 +101,14 @@ type SM struct {
 	L1    *cache.Cache
 	space mem.AddrSpace
 
-	warps     []Warp
+	warps []Warp
+	// Cold per-warp state lives in parallel arrays indexed by warp slot,
+	// keeping Warp small: the schedulers scan every resident Warp each
+	// cycle, while the address-generator state and per-warp RNG are only
+	// touched on the one slot that actually issues.
+	wAddr []kern.AddrState
+	wRNG  []xrand.Source
+
 	freeWarps []int
 	tbs       []tbSlot
 	scheds    []scheduler
@@ -197,6 +201,8 @@ func New(id int, cfg *config.Config, descs []*kern.Desc, quota []int,
 		L1:         cache.New(cfg.L1D, n),
 		space:      mem.NewAddrSpace(cfg.L1D.LineBytes),
 		warps:      make([]Warp, cfg.SM.MaxWarps),
+		wAddr:      make([]kern.AddrState, cfg.SM.MaxWarps),
+		wRNG:       make([]xrand.Source, cfg.SM.MaxWarps),
 		tbs:        make([]tbSlot, cfg.SM.MaxTBs),
 		scheds:     make([]scheduler, cfg.SM.Schedulers),
 		tbCount:    make([]int, n),
@@ -390,9 +396,10 @@ func (s *SM) launchTB(k, slot, wpt int, cycle int64) {
 		s.warpAge++
 		*w = Warp{Active: true, Kernel: int8(k), TB: int16(slot), Gen: gen, age: s.warpAge}
 		seq := tbSeq*uint64(wpt) + uint64(wi)
-		w.rng.Seed(uint64(s.ID)<<32 ^ seq*0x9E3779B97F4A7C15 ^ uint64(k)<<56 ^ s.cfg.Seed)
-		d.InitAddrState(&w.Addr, seq, s.warmLines[k])
-		w.NextKind, w.pos = d.NextKind(0, &w.rng)
+		s.wRNG[slotW].Seed(uint64(s.ID)<<32 ^ seq*0x9E3779B97F4A7C15 ^ uint64(k)<<56 ^ s.cfg.Seed)
+		s.wAddr[slotW] = kern.AddrState{}
+		d.InitAddrState(&s.wAddr[slotW], seq, s.warmLines[k])
+		w.NextKind, w.pos = d.NextKind(0, &s.wRNG[slotW])
 		w.ReadyAt = cycle
 		w.lastCycle = -1
 		sched := s.schedAssign % len(s.scheds)
@@ -552,7 +559,7 @@ func (s *SM) issueMem(cycle int64) int {
 	if w.NextKind == kern.MemStore {
 		kind = mem.Store
 	}
-	nreq := d.GenLines(&w.Addr, &w.rng, s.lineBuf[:], kind == mem.Store, s.warmLines[k])
+	nreq := d.GenLines(&s.wAddr[slotW], &s.wRNG[slotW], s.lineBuf[:], kind == mem.Store, s.warmLines[k])
 	barrier := uint64(noBarrier)
 	if kind == mem.Load {
 		barrier = w.IssuedInstrs + uint64(d.DepDist)
@@ -611,7 +618,7 @@ func (s *SM) advanceWarp(slot int, cycle int64) {
 		}
 		return
 	}
-	w.NextKind, w.pos = d.NextKind(w.pos, &w.rng)
+	w.NextKind, w.pos = d.NextKind(w.pos, &s.wRNG[slot])
 }
 
 // readyForCompute reports whether warp w can issue an ALU/SFU
@@ -701,12 +708,12 @@ func (s *SM) issueCompute(cycle int64, memScheduler int) {
 			// A bank conflict serializes the access over extra cycles
 			// (degree 2..SmemBanks/4, drawn per access).
 			busy := int64(1)
-			if d.SmemConflictProb > 0 && w.rng.Bool(d.SmemConflictProb) {
+			if d.SmemConflictProb > 0 && s.wRNG[picked].Bool(d.SmemConflictProb) {
 				maxDeg := s.cfg.SM.SmemBanks / 4
 				if maxDeg < 2 {
 					maxDeg = 2
 				}
-				busy = int64(2 + w.rng.Intn(maxDeg-1))
+				busy = int64(2 + s.wRNG[picked].Intn(maxDeg-1))
 			}
 			s.smemBusyUntil = cycle + busy
 			s.K[k].SmemInstrs++

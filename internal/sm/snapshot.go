@@ -19,6 +19,7 @@ import (
 	"unsafe"
 
 	"repro/internal/cache"
+	"repro/internal/kern"
 	"repro/internal/mem"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -28,6 +29,8 @@ import (
 // Restore deep-copies out of it, so one snapshot can seed many SMs.
 type Snapshot struct {
 	warps     []Warp
+	wAddr     []kern.AddrState
+	wRNG      []xrand.Source
 	freeWarps []int
 	tbs       []tbSlot
 	scheds    []scheduler
@@ -73,6 +76,8 @@ type Snapshot struct {
 func (s *SM) Snapshot(cl *mem.Cloner) *Snapshot {
 	sn := &Snapshot{
 		warps:         append([]Warp(nil), s.warps...),
+		wAddr:         append([]kern.AddrState(nil), s.wAddr...),
+		wRNG:          append([]xrand.Source(nil), s.wRNG...),
 		freeWarps:     append([]int(nil), s.freeWarps...),
 		tbCount:       append([]int(nil), s.tbCount...),
 		tbLaunched:    append([]uint64(nil), s.tbLaunched...),
@@ -134,6 +139,8 @@ func (s *SM) Restore(sn *Snapshot, cl *mem.Cloner) error {
 		return fmt.Errorf("sm %d: %w", s.ID, err)
 	}
 	copy(s.warps, sn.warps)
+	copy(s.wAddr, sn.wAddr)
+	copy(s.wRNG, sn.wRNG)
 	s.freeWarps = append(s.freeWarps[:0], sn.freeWarps...)
 	for i := range s.tbs {
 		w := append(s.tbs[i].warps[:0], sn.tbs[i].warps...)
@@ -217,6 +224,8 @@ func (s *SM) PendingRequests() int {
 // level).
 func (sn *Snapshot) Bytes() int64 {
 	total := int64(len(sn.warps)) * int64(unsafe.Sizeof(Warp{}))
+	total += int64(len(sn.wAddr)) * int64(unsafe.Sizeof(kern.AddrState{}))
+	total += int64(len(sn.wRNG)) * int64(unsafe.Sizeof(xrand.Source{}))
 	total += int64(len(sn.freeWarps)+len(sn.tbCount)+len(sn.inflight))*8 +
 		int64(len(sn.tbLaunched))*8
 	for i := range sn.tbs {

@@ -45,6 +45,15 @@ type Session struct {
 	// defaults to GOMAXPROCS; results are byte-identical for any value.
 	// Set it before sharing the Session.
 	Workers int
+	// PartWorkers sets the memory-side fan-out: L2+DRAM partitions ticked
+	// concurrently within each cycle (gpu.Options.PartWorkers). 0 defaults
+	// to GOMAXPROCS capped at the partition count; results are
+	// byte-identical for any value. Set it before sharing the Session.
+	PartWorkers int
+	// PhaseTime enables per-phase wall-clock counters on every run
+	// (gpu.Options.PhaseTime); read the totals via gpu.PhaseTotals. Set it
+	// before sharing the Session.
+	PhaseTime bool
 	// ForkWarmup enables snapshot forking for schemes with Warmup > 0:
 	// runs in the same warmup family (identical config, kernels,
 	// partition and warmup length) simulate the shared unmanaged prefix
@@ -191,12 +200,14 @@ func (s *Session) RunIsolatedSeriesCtx(ctx context.Context, d Kernel) (*RunResul
 func (s *Session) runIsolatedTBs(ctx context.Context, d Kernel, tbs int, series bool) (*RunResult, error) {
 	descs := []*kern.Desc{&d}
 	opts := &gpu.Options{
-		Cycles:    s.ProfileCycles,
-		Quota:     gpu.UniformQuota(s.cfg.NumSMs, []int{tbs}),
-		Series:    series,
-		Interrupt: interruptOf(ctx),
-		Check:     gpu.CheckConfig{Enabled: s.Check},
-		Workers:   s.Workers,
+		Cycles:      s.ProfileCycles,
+		Quota:       gpu.UniformQuota(s.cfg.NumSMs, []int{tbs}),
+		Series:      series,
+		Interrupt:   interruptOf(ctx),
+		Check:       gpu.CheckConfig{Enabled: s.Check},
+		Workers:     s.Workers,
+		PartWorkers: s.PartWorkers,
+		PhaseTime:   s.PhaseTime,
 	}
 	if series {
 		opts.Cycles = s.cycles
@@ -420,12 +431,14 @@ func (s *Session) RunWorkloadCheckpointedCtx(ctx context.Context, ds []Kernel, s
 	}
 
 	opts := &gpu.Options{
-		Cycles:    s.cycles,
-		Quota:     quota,
-		Series:    scheme.Series,
-		Interrupt: interruptOf(ctx),
-		Check:     gpu.CheckConfig{Enabled: s.Check},
-		Workers:   s.Workers,
+		Cycles:      s.cycles,
+		Quota:       quota,
+		Series:      scheme.Series,
+		Interrupt:   interruptOf(ctx),
+		Check:       gpu.CheckConfig{Enabled: s.Check},
+		Workers:     s.Workers,
+		PartWorkers: s.PartWorkers,
+		PhaseTime:   s.PhaseTime,
 	}
 	var hooks []func(*gpu.GPU, int64)
 	if dynws != nil {
@@ -622,12 +635,14 @@ func (s *Session) execute(ctx context.Context, descs []*kern.Desc, quota [][]int
 // the buckets must span both legs.
 func (s *Session) warmupOptions(ctx context.Context, quota [][]int, series bool) *gpu.Options {
 	return &gpu.Options{
-		Cycles:    s.cycles,
-		Quota:     quota,
-		Series:    series,
-		Interrupt: interruptOf(ctx),
-		Check:     gpu.CheckConfig{Enabled: s.Check},
-		Workers:   s.Workers,
+		Cycles:      s.cycles,
+		Quota:       quota,
+		Series:      series,
+		Interrupt:   interruptOf(ctx),
+		Check:       gpu.CheckConfig{Enabled: s.Check},
+		Workers:     s.Workers,
+		PartWorkers: s.PartWorkers,
+		PhaseTime:   s.PhaseTime,
 	}
 }
 
